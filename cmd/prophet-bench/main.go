@@ -1,0 +1,64 @@
+// Command prophet-bench regenerates the paper's evaluation: every table and
+// figure, printed in the same rows/series the paper reports, alongside the
+// paper's own numbers where stated.
+//
+// Usage:
+//
+//	prophet-bench                 # run everything
+//	prophet-bench -only fig8      # one experiment
+//	prophet-bench -list           # list experiments
+//	prophet-bench -quick          # trimmed sweeps
+//	prophet-bench -iters 20       # longer runs (steadier numbers)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prophet/internal/experiments"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "run a single experiment by id (e.g. fig8, table2)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		iters = flag.Int("iters", 12, "simulated iterations per run")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-18s %-10s %s\n", s.ID, s.Paper, s.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Iterations: *iters, Seed: *seed, Quick: *quick}
+	specs := experiments.All()
+	if *only != "" {
+		spec, err := experiments.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = []experiments.Spec{spec}
+	}
+
+	for i, spec := range specs {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		res, err := spec.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("  [%s, %.1fs wall]\n", spec.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,100 @@
+// Command prophet-sim runs one simulated DDNN training job and reports its
+// training rate, GPU utilization, and network throughput.
+//
+// Usage:
+//
+//	prophet-sim -model resnet50 -batch 64 -workers 3 -bandwidth 3000 \
+//	            -scheduler prophet -iters 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophet/internal/cluster"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/profiler"
+	"prophet/internal/stepwise"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet50", "model: resnet18|resnet50|resnet152|inception-v3|vgg19|alexnet")
+		batch     = flag.Int("batch", 64, "per-worker mini-batch size")
+		workers   = flag.Int("workers", 3, "number of worker nodes")
+		bandwidth = flag.Float64("bandwidth", 3000, "per-worker bandwidth limit in Mbps")
+		sched     = flag.String("scheduler", "prophet", "strategy: fifo|p3|bytescheduler|bytescheduler-tuned|prophet")
+		iters     = flag.Int("iters", 12, "training iterations")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		partition = flag.Float64("partition", 4, "P3 partition size in MB")
+		credit    = flag.Float64("credit", 4, "ByteScheduler credit in MB")
+	)
+	flag.Parse()
+
+	base, err := model.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wire := model.WithWireFactor(base, 2)
+	aggBytes := wire.TotalBytes() / 13
+	if aggBytes < 4e6 {
+		aggBytes = 4e6
+	}
+	agg := stepwise.Aggregate(wire, aggBytes, 0)
+
+	var factory cluster.SchedulerFactory
+	switch *sched {
+	case "fifo":
+		factory = cluster.FIFOFactory(wire)
+	case "p3":
+		factory = cluster.P3Factory(wire, *partition*1e6)
+	case "bytescheduler":
+		factory = cluster.ByteSchedulerFactory(wire, *credit*1e6)
+	case "bytescheduler-tuned":
+		factory = cluster.TunedByteSchedulerFactory(wire, *credit*1e6, 1e6, 16e6, *seed)
+	case "prophet":
+		prof, err := profiler.Run(profiler.Config{Model: wire, Batch: *batch, Agg: agg, Seed: *seed * 97})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("profiled %d iterations: %d stepwise blocks, backward %.0f ms, cost %.1f s\n",
+			prof.Iterations, len(prof.Blocks), 1e3*prof.Gen[0], prof.WallTime)
+		factory = cluster.ProphetFactory(prof.Profile())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(1)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		Model:   wire,
+		Batch:   *batch,
+		Workers: *workers,
+		Agg:     agg,
+		Uplink: func(int) netsim.LinkConfig {
+			return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
+		},
+		Scheduler:  factory,
+		Iterations: *iters,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	warmup := 2
+	if *iters <= warmup {
+		warmup = 0
+	}
+	fmt.Printf("%s on %s: batch %d, %d workers, %.0f Mbps/worker\n",
+		res.SchedulerName, base.Name, *batch, *workers, *bandwidth)
+	fmt.Printf("  training rate:   %8.2f samples/s per worker (%8.2f aggregate)\n",
+		res.Rate(warmup), res.ClusterRate(warmup))
+	fmt.Printf("  GPU utilization: %7.1f%%\n", 100*res.GPUUtil(0, warmup))
+	fmt.Printf("  uplink payload:  %7.1f MB/s average\n", res.AvgUplinkThroughput(0, warmup)/1e6)
+	fmt.Printf("  simulated time:  %7.2f s for %d iterations\n", res.Duration, *iters)
+}

@@ -1,0 +1,128 @@
+// Command prophet-trace runs one simulated training job and exports its
+// timelines: a Chrome trace-event JSON of GPU/link activity, a CSV of GPU
+// utilization and network throughput, and a CSV of per-gradient transfers.
+//
+// Usage:
+//
+//	prophet-trace -model resnet50 -scheduler prophet -out trace.json
+//	prophet-trace -scheduler bytescheduler -csv timeline.csv -transfers log.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophet/internal/cluster"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/profiler"
+	"prophet/internal/stepwise"
+	"prophet/internal/trace"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet50", "model")
+		batch     = flag.Int("batch", 64, "batch size")
+		workers   = flag.Int("workers", 3, "workers")
+		bandwidth = flag.Float64("bandwidth", 3000, "per-worker Mbps")
+		sched     = flag.String("scheduler", "prophet", "fifo|p3|bytescheduler|prophet")
+		iters     = flag.Int("iters", 6, "iterations")
+		seed      = flag.Uint64("seed", 1, "seed")
+		outJSON   = flag.String("out", "", "Chrome trace JSON output path")
+		outCSV    = flag.String("csv", "", "timeline CSV output path (GPU util + throughput)")
+		outXfer   = flag.String("transfers", "", "per-gradient transfer CSV output path")
+	)
+	flag.Parse()
+	if *outJSON == "" && *outCSV == "" && *outXfer == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -out, -csv, or -transfers")
+		os.Exit(1)
+	}
+
+	base, err := model.ByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wire := model.WithWireFactor(base, 2)
+	aggBytes := wire.TotalBytes() / 13
+	if aggBytes < 4e6 {
+		aggBytes = 4e6
+	}
+	agg := stepwise.Aggregate(wire, aggBytes, 0)
+
+	var factory cluster.SchedulerFactory
+	switch *sched {
+	case "fifo":
+		factory = cluster.FIFOFactory(wire)
+	case "p3":
+		factory = cluster.P3Factory(wire, 4e6)
+	case "bytescheduler":
+		factory = cluster.ByteSchedulerFactory(wire, 4e6)
+	case "prophet":
+		prof, err := profiler.Run(profiler.Config{Model: wire, Batch: *batch, Agg: agg, Seed: *seed * 97})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		factory = cluster.ProphetFactory(prof.Profile())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(1)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		Model:   wire,
+		Batch:   *batch,
+		Workers: *workers,
+		Agg:     agg,
+		Uplink: func(int) netsim.LinkConfig {
+			return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
+		},
+		Scheduler:    factory,
+		Iterations:   *iters,
+		Seed:         *seed,
+		RecordLinks:  true,
+		LogTransfers: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	writeFile := func(path string, fn func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *outJSON != "" {
+		writeFile(*outJSON, func(f *os.File) error {
+			return trace.WriteChromeTrace(f, trace.ChromeTrace(res))
+		})
+	}
+	if *outCSV != "" {
+		writeFile(*outCSV, func(f *os.File) error {
+			const bin = 0.05
+			gpu := res.GPU[0].Timeline(0, res.Duration, bin)
+			up := res.Up[0].Timeline(0, res.Duration, bin)
+			down := res.Down[0].Timeline(0, res.Duration, bin)
+			return trace.WriteCSV(f, bin,
+				[]string{"time_s", "gpu_util", "uplink_Bps", "downlink_Bps"}, gpu, up, down)
+		})
+	}
+	if *outXfer != "" {
+		writeFile(*outXfer, func(f *os.File) error {
+			return trace.WriteTransferCSV(f, res.Transfers)
+		})
+	}
+}

@@ -1,0 +1,50 @@
+// Real training: run actual data-parallel SGD — a real MLP, real gradient
+// bytes, a live parameter server over rate-shaped in-memory connections —
+// under the FIFO, priority, and Prophet push orders. The loss trajectory is
+// bit-identical across policies (synchronous SGD with deterministic
+// aggregation); what differs is when tensor 0's aggregated gradient is back
+// on the worker, which is what gates the next forward pass.
+//
+//	go run ./examples/realtraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prophet/internal/emu"
+	"prophet/internal/nn"
+)
+
+func main() {
+	ds := nn.Blobs(2048, 16, 4, 9)
+	base := emu.Config{
+		Workers:              3,
+		Layers:               []int{16, 128, 128, 4},
+		Dataset:              ds,
+		Batch:                64,
+		Iterations:           15,
+		LR:                   0.1,
+		BandwidthBytesPerSec: 4e6, // 4 MB/s per worker: communication matters
+		Seed:                 21,
+	}
+
+	fmt.Println("data-parallel MLP, 3 workers, live parameter server, 4 MB/s links")
+	for _, policy := range []emu.Policy{emu.FIFO, emu.Priority, emu.Prophet} {
+		cfg := base
+		cfg.Policy = policy
+		res, err := emu.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rtt float64
+		for _, d := range res.Tensor0RoundTrip[1:] { // skip profiling iter
+			rtt += d.Seconds()
+		}
+		rtt /= float64(len(res.Tensor0RoundTrip) - 1)
+		fmt.Printf("  %-9s loss %.4f → %.4f   accuracy %.1f%%   tensor-0 round trip %6.1f ms   wall %s\n",
+			policy, res.Losses[0], res.Losses[len(res.Losses)-1],
+			100*res.FinalAccuracy, 1e3*rtt, res.Duration.Round(1e6))
+	}
+	fmt.Println("note: losses are identical across policies — only communication timing differs")
+}

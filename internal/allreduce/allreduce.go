@@ -1,0 +1,259 @@
+// Package allreduce models ring all-reduce training — the architecture the
+// paper's related work contrasts with the PS design (PACE schedules
+// all-reduce tensors preemptively; Horovod popularized the ring). It lets
+// the experiments answer the natural reviewer question: how does PS +
+// Prophet compare against a decentralized ring on the same workload?
+//
+// Ring cost model: a tensor of s bytes across W workers runs 2(W−1) steps,
+// each moving s/W bytes on every link simultaneously, so the wall time on
+// links of bandwidth B with per-message overhead c is
+//
+//	T(s) = 2(W−1) × (c + (s/W + ramp)/B)
+//
+// Small tensors are murdered by the 2(W−1) per-step overheads, which is
+// why frameworks fuse tensors into a fusion buffer before reducing — the
+// ring's analogue of Prophet's blocks, but sized by a static threshold
+// rather than the stepwise windows.
+package allreduce
+
+import (
+	"fmt"
+
+	"prophet/internal/metrics"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/sim"
+	"prophet/internal/stepwise"
+)
+
+// Config describes one simulated ring all-reduce training run.
+type Config struct {
+	Model    *model.Model
+	Hardware model.Hardware
+	// Batch is the per-worker mini-batch size.
+	Batch int
+	// Workers is the ring size.
+	Workers int
+	// Agg is the gradient release bucketing (the stepwise source); the
+	// default matches the cluster package's.
+	Agg stepwise.Buckets
+	// Link describes each inter-worker link; rings are homogeneous.
+	Link netsim.LinkConfig
+	// FusionBytes is the fusion-buffer threshold: ready tensors are fused
+	// until the buffer exceeds it (Horovod-style; default 64 MB).
+	FusionBytes float64
+	// Iterations to run (default 20).
+	Iterations int
+	// Jitter is the relative compute noise (default 0.02; negative = 0).
+	Jitter float64
+	// Seed drives randomness.
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Model == nil {
+		return fmt.Errorf("allreduce: Config.Model is nil")
+	}
+	if c.Batch <= 0 || c.Workers <= 1 {
+		return fmt.Errorf("allreduce: need batch > 0 and workers > 1")
+	}
+	if c.Link.Trace == nil {
+		c.Link = netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(10)))
+	}
+	if c.FusionBytes == 0 {
+		c.FusionBytes = 64e6
+	}
+	if c.FusionBytes < 0 {
+		return fmt.Errorf("allreduce: negative fusion threshold")
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if len(c.Agg.Groups) == 0 {
+		aggBytes := c.Model.TotalBytes() / 13
+		if aggBytes < 4e6 {
+			aggBytes = 4e6
+		}
+		c.Agg = stepwise.Aggregate(c.Model, aggBytes, 0)
+	}
+	if c.Hardware.FLOPS == 0 {
+		c.Hardware = model.M60Like()
+	}
+	switch {
+	case c.Jitter == 0:
+		c.Jitter = 0.02
+	case c.Jitter < 0:
+		c.Jitter = 0
+	}
+	return nil
+}
+
+// Result reports a ring run.
+type Result struct {
+	Iters    metrics.IterationLog
+	GPU      *metrics.IntervalSeries
+	Duration float64
+	Batch    int
+	// Reductions counts all-reduce operations (fused buffers) executed.
+	Reductions int
+}
+
+// Rate returns the per-worker steady-state samples/sec.
+func (r *Result) Rate(warmup int) float64 { return r.Iters.SteadyRate(warmup, r.Batch) }
+
+// stepTime returns the wall time of one fused all-reduce of `bytes`.
+func stepTime(cfg *Config, bytes float64) float64 {
+	w := float64(cfg.Workers)
+	b := cfg.Link.Trace.At(0)
+	perStep := cfg.Link.SetupTime + (bytes/w+cfg.Link.RampBytes)/b
+	return 2 * (w - 1) * perStep
+}
+
+// Run simulates synchronous ring all-reduce training. Workers run in
+// lockstep (the ring is itself a barrier), so a single worker timeline with
+// a serial "ring" resource captures the system: backward releases tensors
+// in stepwise bursts; ready tensors fuse into buffers; each buffer costs
+// one ring reduction; forward segment i waits for the reduction covering
+// tensor i (Eq. 3's gating, all-reduce flavoured).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	rng := sim.NewRand(cfg.Seed*1_000_003 + 17)
+	m := cfg.Model
+	n := m.NumGradients()
+
+	res := &Result{Batch: cfg.Batch}
+	gpu := &metrics.IntervalSeries{}
+	res.GPU = gpu
+
+	// releaseAt[i] lists tensors released when backward segment i ends.
+	releaseAt := make([][]int, n)
+	for _, grp := range cfg.Agg.Groups {
+		releaseAt[grp[0]] = append([]int(nil), grp...)
+	}
+
+	ringBusy := false
+	var pending []int // released, un-reduced tensors (generation order)
+	var pendingB float64
+	reduced := make([]bool, n)
+	iterStart := 0.0
+	iter := 0
+	fwdSeg := 0
+	bwdSeg := -1
+	computing := false
+	inBackward := false
+
+	var advanceForward func()
+	var advanceBackward func()
+	var pumpRing func()
+
+	finishIteration := func() {
+		now := eng.Now()
+		res.Iters.Add(iterStart, now)
+		iterStart = now
+		iter++
+		if iter >= cfg.Iterations {
+			return
+		}
+		fwdSeg = 0
+		inBackward = false
+		advanceForward()
+	}
+
+	// fuse drains pending into one buffer respecting the fusion threshold.
+	fuse := func() (grads []int, bytes float64) {
+		for len(pending) > 0 {
+			g := pending[0]
+			gb := m.Grads[g].Bytes()
+			if len(grads) > 0 && bytes+gb > cfg.FusionBytes {
+				break
+			}
+			grads = append(grads, g)
+			bytes += gb
+			pending = pending[1:]
+			pendingB -= gb
+		}
+		return grads, bytes
+	}
+
+	pumpRing = func() {
+		if ringBusy || len(pending) == 0 {
+			return
+		}
+		grads, bytes := fuse()
+		ringBusy = true
+		eng.Schedule(stepTime(&cfg, bytes), func() {
+			ringBusy = false
+			res.Reductions++
+			for _, g := range grads {
+				reduced[g] = true
+			}
+			advanceForward()
+			pumpRing()
+		})
+	}
+
+	advanceBackward = func() {
+		if bwdSeg < 0 {
+			finishIteration()
+			return
+		}
+		seg := bwdSeg
+		computing = true
+		gpu.Start(eng.Now())
+		d := rng.Jitter(m.BwdTime(cfg.Hardware, m.Grads[seg], cfg.Batch), cfg.Jitter)
+		eng.Schedule(d, func() {
+			gpu.Stop(eng.Now())
+			computing = false
+			if rel := releaseAt[seg]; rel != nil {
+				// Release in generation order: highest index first.
+				for i := len(rel) - 1; i >= 0; i-- {
+					pending = append(pending, rel[i])
+					pendingB += m.Grads[rel[i]].Bytes()
+				}
+				pumpRing()
+			}
+			bwdSeg--
+			advanceBackward()
+		})
+	}
+
+	advanceForward = func() {
+		if inBackward || computing || iter >= cfg.Iterations {
+			return
+		}
+		if fwdSeg >= n {
+			// Forward done: reset reduction state and start backward.
+			inBackward = true
+			for i := range reduced {
+				reduced[i] = false
+			}
+			bwdSeg = n - 1
+			advanceBackward()
+			return
+		}
+		if iter > 0 && !reduced[fwdSeg] {
+			return // wait for the ring
+		}
+		seg := fwdSeg
+		computing = true
+		gpu.Start(eng.Now())
+		d := rng.Jitter(m.FwdTime(cfg.Hardware, m.Grads[seg], cfg.Batch), cfg.Jitter)
+		eng.Schedule(d, func() {
+			gpu.Stop(eng.Now())
+			computing = false
+			fwdSeg++
+			advanceForward()
+		})
+	}
+
+	advanceForward()
+	eng.Run()
+	if iter < cfg.Iterations {
+		return nil, fmt.Errorf("allreduce: stalled at iteration %d/%d (fwdSeg %d)", iter, cfg.Iterations, fwdSeg)
+	}
+	res.Duration = eng.Now()
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package allreduce
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+)
+
+func baseCfg() Config {
+	return Config{
+		Model:      model.WithWireFactor(model.ResNet18(), 2),
+		Batch:      32,
+		Workers:    4,
+		Link:       netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(5))),
+		Iterations: 6,
+		Seed:       1,
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	res, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters.Count() != 6 {
+		t.Fatalf("iterations = %d", res.Iters.Count())
+	}
+	if res.Reductions < 6 {
+		t.Fatalf("reductions = %d, expected at least one per iteration", res.Reductions)
+	}
+	if res.Duration <= 0 || res.Rate(1) <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{},
+		{Model: model.ResNet18()},
+		{Model: model.ResNet18(), Batch: 32, Workers: 1},
+		{Model: model.ResNet18(), Batch: 32, Workers: 2, FusionBytes: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Reductions != b.Reductions {
+		t.Fatal("nondeterministic")
+	}
+}
+
+func TestMoreBandwidthFaster(t *testing.T) {
+	slow := baseCfg()
+	slow.Link = netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(1)))
+	fast := baseCfg()
+	fast.Link = netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(10)))
+	s, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rate(1) <= s.Rate(1) {
+		t.Fatalf("fast %v <= slow %v", f.Rate(1), s.Rate(1))
+	}
+}
+
+func TestFusionAmortizesOverheads(t *testing.T) {
+	// Tiny fusion buffers force one reduction per tensor: 2(W−1)
+	// overheads each. A 64 MB buffer must be decisively faster.
+	small := baseCfg()
+	small.FusionBytes = 1 // effectively per-tensor
+	big := baseCfg()
+	big.FusionBytes = 64e6
+	s, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reductions <= b.Reductions {
+		t.Fatalf("small fusion did %d reductions, big %d", s.Reductions, b.Reductions)
+	}
+	if b.Rate(1) <= s.Rate(1)*1.05 {
+		t.Fatalf("fusion gained too little: %v vs %v", b.Rate(1), s.Rate(1))
+	}
+}
+
+func TestRingScalesWithWorkers(t *testing.T) {
+	// Ring step count grows with W, so per-worker rate degrades with ring
+	// size when communication-bound.
+	small := baseCfg()
+	small.Workers = 2
+	small.Link = netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(1)))
+	large := baseCfg()
+	large.Workers = 8
+	large.Link = netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(1)))
+	s, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Run(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total moved bytes per link: 2(W−1)/W × model — grows with W, so the
+	// 8-ring cannot be faster than the 2-ring per worker.
+	if l.Rate(1) > s.Rate(1) {
+		t.Fatalf("8-worker ring rate %v > 2-worker %v", l.Rate(1), s.Rate(1))
+	}
+}
+
+func TestStepTimeFormula(t *testing.T) {
+	cfg := baseCfg()
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	w := float64(cfg.Workers)
+	b := cfg.Link.Trace.At(0)
+	bytes := 8e6
+	want := 2 * (w - 1) * (cfg.Link.SetupTime + (bytes/w+cfg.Link.RampBytes)/b)
+	if got := stepTime(&cfg, bytes); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stepTime = %v, want %v", got, want)
+	}
+}
+
+func TestGPUTimelineRecorded(t *testing.T) {
+	res, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := res.GPU.BusyBetween(0, res.Duration)
+	if busy <= 0 || busy > res.Duration {
+		t.Fatalf("busy = %v of %v", busy, res.Duration)
+	}
+}

@@ -1,0 +1,241 @@
+// Package cluster is the DDNN training simulator: a BSP parameter-server
+// cluster in which each worker alternates forward and backward propagation
+// on its GPU while a communication scheduler decides how gradients travel
+// to the PS (push) and updated parameters return (pull).
+//
+// The simulation reproduces the structure of Fig. 1 and Fig. 6 of the
+// paper:
+//
+//   - backward propagation produces gradients back-to-front; the
+//     aggregation layer releases them in stepwise bursts;
+//   - pushes overlap backward (and forward) compute on a serial uplink
+//     whose effective bandwidth follows f(s, B) (Eq. 10);
+//   - the PS aggregates a gradient once every worker has pushed it, after
+//     which workers pull the updated parameters on their downlinks;
+//   - forward propagation of the next iteration computes layer i only
+//     after layer i−1 finished and gradient i's pull completed (Eq. 3), so
+//     late pulls stall the GPU — the wait time T_wait of Eq. 2.
+//
+// Everything a strategy can influence is delegated to a schedule.Scheduler,
+// so FIFO, P3, ByteScheduler, and Prophet run on identical substrate.
+package cluster
+
+import (
+	"fmt"
+
+	"prophet/internal/metrics"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/schedule"
+	"prophet/internal/sim"
+	"prophet/internal/stepwise"
+)
+
+// Config describes one simulated training run.
+type Config struct {
+	Model    *model.Model
+	Hardware model.Hardware
+	// Batch is the per-worker mini-batch size.
+	Batch int
+	// Workers is the number of worker nodes (the PS is separate).
+	Workers int
+	// Agg is the gradient aggregation bucketing (stepwise source). If
+	// empty, stepwise.Aggregate(Model, 8 MB, 0) is used.
+	Agg stepwise.Buckets
+	// Uplink and Downlink give each worker's link configuration. If nil,
+	// netsim.DefaultLinkConfig(Const(1.25 GB/s)) (10 Gbps) is used.
+	Uplink, Downlink func(worker int) netsim.LinkConfig
+	// Scheduler builds the strategy instance for a worker. The uplink is
+	// provided so strategies can attach bandwidth monitors.
+	Scheduler func(worker int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler
+	// Iterations to run (default 20).
+	Iterations int
+	// Jitter is the relative stddev of compute-segment noise (default
+	// 0.02). Set negative for exactly zero jitter.
+	Jitter float64
+	// Seed drives all randomness.
+	Seed uint64
+	// LogTransfers enables the per-gradient push log on worker 0
+	// (Fig. 11). Costs memory proportional to iterations × gradients.
+	LogTransfers bool
+	// RecordLinks keeps every link's per-message transfer records
+	// (message-level traces for cmd/prophet-trace and diagnostics).
+	RecordLinks bool
+	// ASP switches the parameter server from Bulk Synchronous Parallel to
+	// Asynchronous Parallel (the paper's future-work direction 1): a
+	// worker's pull is served from its own freshest push without waiting
+	// for other workers' contributions, so stragglers no longer gate the
+	// cluster — at the cost of gradient staleness (not modeled; this
+	// simulator measures timing, not accuracy).
+	ASP bool
+	// PullPartition bounds the size of pull (parameter response)
+	// messages: a push message larger than this mirrors back as several
+	// pulls, each unlocking its gradients as it lands — BytePS serves
+	// parameter responses per partition regardless of how pushes were
+	// batched. Default 4 MB; negative disables splitting.
+	PullPartition float64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Model == nil {
+		return fmt.Errorf("cluster: Config.Model is nil")
+	}
+	if c.Batch <= 0 {
+		return fmt.Errorf("cluster: batch %d must be positive", c.Batch)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("cluster: workers %d must be positive", c.Workers)
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("cluster: Config.Scheduler is nil")
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("cluster: negative iterations")
+	}
+	if len(c.Agg.Groups) == 0 {
+		// Default bucketing calibrated to the paper's Fig. 4: ResNet50's
+		// gradients arrive in ~13 stepwise blocks, i.e. the KV layer
+		// groups roughly 1/13 of the model per push.
+		aggBytes := c.Model.TotalBytes() / 13
+		if aggBytes < 4e6 {
+			aggBytes = 4e6
+		}
+		c.Agg = stepwise.Aggregate(c.Model, aggBytes, 0)
+	}
+	if c.Hardware.FLOPS == 0 {
+		c.Hardware = model.M60Like()
+	}
+	if c.Uplink == nil {
+		c.Uplink = func(int) netsim.LinkConfig {
+			return netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(10)))
+		}
+	}
+	if c.Downlink == nil {
+		c.Downlink = c.Uplink
+	}
+	switch {
+	case c.Jitter == 0:
+		c.Jitter = 0.02
+	case c.Jitter < 0:
+		c.Jitter = 0
+	}
+	switch {
+	case c.PullPartition == 0:
+		c.PullPartition = 6e6
+	case c.PullPartition < 0:
+		c.PullPartition = 0
+	}
+	return nil
+}
+
+// Result carries everything the experiments need from one run.
+type Result struct {
+	// Iters records iteration boundaries: Iters.Starts[k] is the end of
+	// the previous backward pass, Iters.Ends[k] this one's, so spans are
+	// contiguous and SteadyRate measures true steady-state throughput.
+	Iters metrics.IterationLog
+	// GPU[w] records worker w's compute-busy intervals.
+	GPU []*metrics.IntervalSeries
+	// Up[w] and Down[w] record per-link payload transfers.
+	Up, Down []*metrics.RateSeries
+	// Transfers is the worker-0 per-gradient push log (LogTransfers).
+	Transfers *metrics.TransferLog
+	// UpRecords and DownRecords are per-worker per-message link traces
+	// (populated when RecordLinks is set).
+	UpRecords, DownRecords [][]netsim.TransferRecord
+	// Duration is the total simulated time.
+	Duration float64
+	// Batch and Workers echo the configuration.
+	Batch, Workers int
+	// SchedulerName echoes worker 0's strategy.
+	SchedulerName string
+}
+
+// Rate returns the per-worker steady-state training rate in samples/sec,
+// skipping `warmup` iterations (the paper reports per-worker rates).
+func (r *Result) Rate(warmup int) float64 {
+	return r.Iters.SteadyRate(warmup, r.Batch)
+}
+
+// ClusterRate returns the aggregate samples/sec across all workers.
+func (r *Result) ClusterRate(warmup int) float64 {
+	return r.Rate(warmup) * float64(r.Workers)
+}
+
+// GPUUtil returns worker w's GPU utilization over the steady-state window
+// (after `warmup` iterations).
+func (r *Result) GPUUtil(w, warmup int) float64 {
+	if warmup >= r.Iters.Count() {
+		panic("cluster: warmup beyond run length")
+	}
+	from := r.Iters.Starts[warmup]
+	return r.GPU[w].Utilization(from, r.Duration)
+}
+
+// AvgUplinkThroughput returns worker w's mean uplink payload throughput in
+// bytes/sec over the steady-state window.
+func (r *Result) AvgUplinkThroughput(w, warmup int) float64 {
+	from := r.Iters.Starts[warmup]
+	return r.Up[w].Throughput(from, r.Duration)
+}
+
+// Run executes the simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	ps := newParamServer(cfg.Workers, cfg.Model.NumGradients(), gradSizes(cfg.Model))
+	ps.asp = cfg.ASP
+
+	res := &Result{
+		Batch:   cfg.Batch,
+		Workers: cfg.Workers,
+	}
+	if cfg.LogTransfers {
+		res.Transfers = &metrics.TransferLog{}
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		workers[w] = newWorker(w, eng, &cfg, ps, res)
+	}
+	ps.workersRef = workers
+	res.SchedulerName = workers[0].sched.Name()
+
+	for _, w := range workers {
+		w.startIteration()
+	}
+	eng.Run()
+
+	for _, w := range workers {
+		if w.iter < cfg.Iterations {
+			return nil, fmt.Errorf("cluster: deadlock — worker %d stopped at iteration %d/%d (phase %v, fwdSeg %d, bwdSeg %d, %s)",
+				w.id, w.iter, cfg.Iterations, w.phase, w.fwdSeg, w.bwdSeg, w.debugPulled())
+		}
+	}
+
+	res.Duration = eng.Now()
+	for _, w := range workers {
+		res.GPU = append(res.GPU, &w.gpu)
+		res.Up = append(res.Up, w.upRate)
+		res.Down = append(res.Down, w.downRate)
+		if cfg.RecordLinks {
+			res.UpRecords = append(res.UpRecords, w.up.Records())
+			res.DownRecords = append(res.DownRecords, w.down.Records())
+		}
+	}
+	res.Iters = workers[0].iterLog
+	return res, nil
+}
+
+func gradSizes(m *model.Model) []float64 {
+	s := make([]float64, m.NumGradients())
+	for i, g := range m.Grads {
+		s[i] = g.Bytes()
+	}
+	return s
+}

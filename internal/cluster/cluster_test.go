@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/profiler"
+	"prophet/internal/stepwise"
+)
+
+// smallConfig builds a quick ResNet18 run for functional tests.
+func smallConfig(t *testing.T, factory SchedulerFactory, gbps float64) Config {
+	t.Helper()
+	m := model.ResNet18()
+	return Config{
+		Model:     m,
+		Batch:     32,
+		Workers:   2,
+		Scheduler: factory,
+		Uplink: func(int) netsim.LinkConfig {
+			return netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(gbps)))
+		},
+		Iterations: 6,
+		Seed:       1,
+	}
+}
+
+func prophetFactory(t *testing.T, m *model.Model, batch int) SchedulerFactory {
+	t.Helper()
+	res, err := profiler.Run(profiler.Config{
+		Model: m,
+		Batch: batch,
+		Agg:   stepwise.Aggregate(m, 8e6, 0),
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ProphetFactory(res.Profile())
+}
+
+func TestRunCompletesAllIterations(t *testing.T) {
+	res, err := Run(smallConfig(t, FIFOFactory(model.ResNet18()), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters.Count() != 6 {
+		t.Fatalf("completed %d iterations, want 6", res.Iters.Count())
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{},
+		{Model: model.ResNet18()},
+		{Model: model.ResNet18(), Batch: 32},
+		{Model: model.ResNet18(), Batch: 32, Workers: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAllSchedulersCompleteAndConserveBytes(t *testing.T) {
+	m := model.ResNet18()
+	factories := map[string]SchedulerFactory{
+		"fifo":          FIFOFactory(m),
+		"p3":            P3Factory(m, 4e6),
+		"bytescheduler": ByteSchedulerFactory(m, 8e6),
+		"prophet":       prophetFactory(t, m, 32),
+	}
+	wantBytes := m.TotalBytes() * 6 // per direction per worker, 6 iters
+	for name, f := range factories {
+		res, err := Run(smallConfig(t, f, 5))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for w := 0; w < res.Workers; w++ {
+			up := res.Up[w].TotalBytes()
+			down := res.Down[w].TotalBytes()
+			if math.Abs(up-wantBytes)/wantBytes > 1e-6 {
+				t.Errorf("%s worker %d pushed %v bytes, want %v", name, w, up, wantBytes)
+			}
+			if math.Abs(down-wantBytes)/wantBytes > 1e-6 {
+				t.Errorf("%s worker %d pulled %v bytes, want %v", name, w, down, wantBytes)
+			}
+		}
+		if res.SchedulerName != name {
+			t.Errorf("scheduler name %q, want %q", res.SchedulerName, name)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallConfig(t, FIFOFactory(model.ResNet18()), 3)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration {
+		t.Fatalf("nondeterministic: %v vs %v", a.Duration, b.Duration)
+	}
+	if a.Rate(1) != b.Rate(1) {
+		t.Fatalf("rates differ: %v vs %v", a.Rate(1), b.Rate(1))
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := smallConfig(t, FIFOFactory(model.ResNet18()), 3)
+	a, _ := Run(cfg)
+	cfg.Seed = 2
+	b, _ := Run(cfg)
+	if a.Duration == b.Duration {
+		t.Fatal("different seeds gave identical durations")
+	}
+}
+
+func TestGPUUtilizationBounded(t *testing.T) {
+	res, err := Run(smallConfig(t, FIFOFactory(model.ResNet18()), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < res.Workers; w++ {
+		u := res.GPUUtil(w, 1)
+		if u <= 0 || u > 1 {
+			t.Fatalf("worker %d utilization %v out of (0,1]", w, u)
+		}
+	}
+}
+
+func TestSlowNetworkLowersUtilAndRate(t *testing.T) {
+	fast, err := Run(smallConfig(t, FIFOFactory(model.ResNet18()), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(smallConfig(t, FIFOFactory(model.ResNet18()), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Rate(1) >= fast.Rate(1) {
+		t.Fatalf("slow net rate %v >= fast %v", slow.Rate(1), fast.Rate(1))
+	}
+	if slow.GPUUtil(0, 1) >= fast.GPUUtil(0, 1) {
+		t.Fatalf("slow net GPU util %v >= fast %v", slow.GPUUtil(0, 1), fast.GPUUtil(0, 1))
+	}
+}
+
+func TestComputeBoundRegimeSchedulerIrrelevant(t *testing.T) {
+	// At very high bandwidth the strategies converge (paper: all ≈220
+	// samples/s at 10 Gbps for ResNet18).
+	m := model.ResNet18()
+	fifo, err := Run(smallConfig(t, FIFOFactory(m), 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := Run(smallConfig(t, prophetFactory(t, m, 32), 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(fifo.Rate(1)-pro.Rate(1)) / fifo.Rate(1)
+	if diff > 0.05 {
+		t.Fatalf("compute-bound rates differ by %.1f%%: fifo %v prophet %v",
+			diff*100, fifo.Rate(1), pro.Rate(1))
+	}
+}
+
+func TestProphetBeatsFIFOWhenCommBound(t *testing.T) {
+	m := model.ResNet18()
+	fifo, err := Run(smallConfig(t, FIFOFactory(m), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := Run(smallConfig(t, prophetFactory(t, m, 32), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pro.Rate(1) <= fifo.Rate(1) {
+		t.Fatalf("prophet %v not faster than fifo %v at 2 Gbps", pro.Rate(1), fifo.Rate(1))
+	}
+}
+
+func TestTransferLogPopulated(t *testing.T) {
+	cfg := smallConfig(t, FIFOFactory(model.ResNet18()), 3)
+	cfg.LogTransfers = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := model.ResNet18().NumGradients()
+	want := n * cfg.Iterations
+	if len(res.Transfers.Entries) != want {
+		t.Fatalf("transfer log has %d entries, want %d", len(res.Transfers.Entries), want)
+	}
+	for _, e := range res.Transfers.Entries {
+		if e.Start < e.Generated-1e-9 {
+			t.Fatalf("gradient %d pushed before generated", e.Gradient)
+		}
+		if e.End < e.Start {
+			t.Fatalf("gradient %d negative duration", e.Gradient)
+		}
+	}
+}
+
+func TestHeterogeneousWorkerSlowsCluster(t *testing.T) {
+	m := model.ResNet18()
+	base := smallConfig(t, FIFOFactory(m), 5)
+	hetero := base
+	hetero.Uplink = func(w int) netsim.LinkConfig {
+		g := 5.0
+		if w == 1 {
+			g = 0.5
+		}
+		return netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(g)))
+	}
+	uniform, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(hetero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Rate(1) >= uniform.Rate(1) {
+		t.Fatalf("hetero rate %v >= uniform %v", slow.Rate(1), uniform.Rate(1))
+	}
+}
+
+func TestMoreIterationsTakeLonger(t *testing.T) {
+	cfg := smallConfig(t, FIFOFactory(model.ResNet18()), 5)
+	short, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 12
+	long, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Duration <= short.Duration {
+		t.Fatal("more iterations did not take longer")
+	}
+}
+
+func TestVaryingBandwidthTraceRuns(t *testing.T) {
+	m := model.ResNet18()
+	cfg := smallConfig(t, prophetFactory(t, m, 32), 5)
+	cfg.Uplink = func(int) netsim.LinkConfig {
+		tr := netsim.NewStepTrace(
+			netsim.Step{From: 0, Rate: netsim.Gbps(5)},
+			netsim.Step{From: 3, Rate: netsim.Gbps(1)},
+			netsim.Step{From: 8, Rate: netsim.Gbps(5)},
+		)
+		return netsim.DefaultLinkConfig(tr)
+	}
+	cfg.Iterations = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters.Count() != 10 {
+		t.Fatal("run under varying bandwidth did not complete")
+	}
+}
+
+func TestClusterRateScalesWithWorkers(t *testing.T) {
+	m := model.ResNet18()
+	cfg := smallConfig(t, FIFOFactory(m), 10)
+	cfg.Workers = 2
+	two, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	four, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate throughput should grow close to 2x (paper Fig. 12).
+	ratio := four.ClusterRate(1) / two.ClusterRate(1)
+	if ratio < 1.6 {
+		t.Fatalf("cluster rate scaled only %.2fx from 2 to 4 workers", ratio)
+	}
+}
+
+func TestIterationSpansContiguous(t *testing.T) {
+	res, err := Run(smallConfig(t, FIFOFactory(model.ResNet18()), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < res.Iters.Count(); i++ {
+		if res.Iters.Starts[i] != res.Iters.Ends[i-1] {
+			t.Fatalf("iteration %d span not contiguous", i)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"prophet/internal/core"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/schedule"
+	"prophet/internal/sim"
+)
+
+// SchedulerFactory builds a per-worker strategy instance.
+type SchedulerFactory = func(worker int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler
+
+// FIFOFactory returns the default-framework (MXNet) strategy.
+func FIFOFactory(m *model.Model) SchedulerFactory {
+	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
+		return schedule.NewFIFO(gradSizes(m))
+	}
+}
+
+// P3Factory returns the P3 strategy with the given partition size in bytes
+// (the paper configures 4 MB).
+func P3Factory(m *model.Model, partition float64) SchedulerFactory {
+	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
+		return schedule.NewP3(gradSizes(m), partition)
+	}
+}
+
+// TicTacFactory returns the TicTac-style op-level priority strategy.
+func TicTacFactory(m *model.Model) SchedulerFactory {
+	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
+		return schedule.NewTicTac(gradSizes(m))
+	}
+}
+
+// ByteSchedulerFactory returns the credit-based strategy with a fixed
+// credit in bytes.
+func ByteSchedulerFactory(m *model.Model, credit float64) SchedulerFactory {
+	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
+		return schedule.NewByteScheduler(gradSizes(m), credit)
+	}
+}
+
+// TunedByteSchedulerFactory returns ByteScheduler with its online credit
+// auto-tuner enabled (exploring minCredit..maxCredit), as in Fig. 3(b).
+func TunedByteSchedulerFactory(m *model.Model, credit, minCredit, maxCredit float64, seed uint64) SchedulerFactory {
+	return func(w int, _ *sim.Engine, _ *netsim.Link) schedule.Scheduler {
+		b := schedule.NewByteScheduler(gradSizes(m), credit)
+		b.EnableTuning(minCredit, maxCredit, seed+uint64(w)*31+11)
+		return b
+	}
+}
+
+// ProphetFactory returns the Prophet strategy: each worker attaches a
+// bandwidth monitor to its own uplink (initialized from the link's rate at
+// time zero, standing in for the one-off probe a fresh deployment runs) and
+// re-plans with Algorithm 1 when the estimate drifts.
+func ProphetFactory(prof *core.Profile) SchedulerFactory {
+	return func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
+		cfg := uplink.Config()
+		initial := cfg.Trace.At(0)
+		mon := netsim.NewMonitor(eng, uplink, 0.3, initial)
+		overhead := func(bw float64) float64 {
+			if bw <= 0 {
+				return cfg.SetupTime
+			}
+			return cfg.SetupTime + cfg.RampBytes/bw
+		}
+		p, err := schedule.NewProphet(prof, mon.Estimate, overhead)
+		if err != nil {
+			panic(err) // profile was validated by the profiler
+		}
+		return p
+	}
+}

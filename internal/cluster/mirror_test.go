@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/netsim"
+	"prophet/internal/sim"
+)
+
+func TestMirrorPullsConservesBytes(t *testing.T) {
+	f := func(sizesRaw []uint32, limRaw uint16) bool {
+		if len(sizesRaw) == 0 {
+			return true
+		}
+		cfg := Config{PullPartition: float64(limRaw%100)*1e5 + 1e5}
+		w := &worker{cfg: &cfg, eng: sim.New()}
+		var pieces []pullPiece
+		want := map[int]float64{}
+		for i, r := range sizesRaw {
+			b := float64(r%30000000) + 1
+			pieces = append(pieces, pullPiece{grad: i, bytes: b, last: true})
+			want[i] = b
+		}
+		pulls := w.mirrorPulls(0, pieces)
+		got := map[int]float64{}
+		for _, pm := range pulls {
+			var s float64
+			for _, pc := range pm.pieces {
+				got[pc.grad] += pc.bytes
+				s += pc.bytes
+			}
+			if math.Abs(s-pm.bytes) > 1e-6 {
+				return false
+			}
+		}
+		for g, b := range want {
+			if math.Abs(got[g]-b) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = netsim.Const(1)

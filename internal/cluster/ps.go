@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+
+	"prophet/internal/schedule"
+)
+
+// paramServer models the PS node's aggregation state. Gradient bytes are
+// range-aggregated: a byte range of gradient g is ready for pulling once
+// every worker's cumulative push for g covers it (a range-partitioned
+// key-value store, as in MXNet's KVStore). Aggregation compute itself is
+// negligible next to network time and is modeled as instantaneous.
+//
+// The PS NIC is intentionally not a modeled bottleneck: as in BytePS-style
+// deployments (and the paper's near-linear Fig. 12 scaling), PS capacity is
+// provisioned so per-worker links bind. See DESIGN.md §2.
+type paramServer struct {
+	workers int
+	// asp serves pulls from the requesting worker's own contribution
+	// without the all-workers barrier.
+	asp   bool
+	n     int
+	sizes []float64
+	iters map[int]*psIter
+	// workersRef lets the PS wake workers whose pulls may have become
+	// eligible; set by Run after construction.
+	workersRef []*worker
+}
+
+// psIter is the aggregation state of one training iteration.
+type psIter struct {
+	// pushed[w][g] is worker w's cumulative pushed bytes of gradient g.
+	pushed [][]float64
+}
+
+func newParamServer(workers, n int, sizes []float64) *paramServer {
+	return &paramServer{
+		workers: workers,
+		n:       n,
+		sizes:   sizes,
+		iters:   make(map[int]*psIter),
+	}
+}
+
+func (ps *paramServer) state(iter int) *psIter {
+	st, ok := ps.iters[iter]
+	if !ok {
+		st = &psIter{pushed: make([][]float64, ps.workers)}
+		for w := range st.pushed {
+			st.pushed[w] = make([]float64, ps.n)
+		}
+		ps.iters[iter] = st
+	}
+	return st
+}
+
+// onPush records an arrived push message and wakes every worker's downlink,
+// since the new bytes may complete aggregation of some range.
+func (ps *paramServer) onPush(w, iter int, msg schedule.Message) {
+	if w < 0 || w >= ps.workers {
+		panic(fmt.Sprintf("cluster: push from unknown worker %d", w))
+	}
+	st := ps.state(iter)
+	for _, pc := range msg.Pieces {
+		st.pushed[w][pc.Grad] += pc.Bytes
+		if st.pushed[w][pc.Grad] > ps.sizes[pc.Grad]*(1+1e-9)+1 {
+			panic(fmt.Sprintf("cluster: worker %d over-pushed gradient %d (%v > %v)",
+				w, pc.Grad, st.pushed[w][pc.Grad], ps.sizes[pc.Grad]))
+		}
+	}
+	for _, wk := range ps.workersRef {
+		wk.pumpDownlink()
+	}
+}
+
+// covered reports whether every byte range in worker `w`'s pull is ready:
+// under BSP, pushed by all workers (the PS holds the aggregated value);
+// under ASP, pushed by w itself (the PS applies updates as they arrive and
+// serves the current parameters immediately).
+func (ps *paramServer) covered(w int, pm *pullMsg) bool {
+	st := ps.state(pm.iter)
+	for _, pc := range pm.pieces {
+		need := pc.off + pc.bytes
+		slack := 1e-6 * (1 + need)
+		if ps.asp {
+			if st.pushed[w][pc.grad] < need-slack {
+				return false
+			}
+			continue
+		}
+		for x := 0; x < ps.workers; x++ {
+			if st.pushed[x][pc.grad] < need-slack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gc drops aggregation state for iterations safely behind every worker's
+// communication epoch. Under ASP workers drift apart, so the slowest
+// worker's progress — not the caller's — bounds what can be discarded.
+func (ps *paramServer) gc(int) {
+	min := ps.workersRef[0].commIter
+	for _, wk := range ps.workersRef[1:] {
+		if wk.commIter < min {
+			min = wk.commIter
+		}
+	}
+	for k := range ps.iters {
+		if k < min-2 {
+			delete(ps.iters, k)
+		}
+	}
+}

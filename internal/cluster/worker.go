@@ -1,0 +1,401 @@
+package cluster
+
+import (
+	"fmt"
+
+	"prophet/internal/metrics"
+	"prophet/internal/netsim"
+	"prophet/internal/schedule"
+	"prophet/internal/sim"
+)
+
+// phase is the worker GPU's current activity.
+type phase int
+
+const (
+	phaseForward phase = iota
+	phaseBackward
+	phaseDone
+)
+
+func (p phase) String() string {
+	switch p {
+	case phaseForward:
+		return "forward"
+	case phaseBackward:
+		return "backward"
+	case phaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// worker simulates one training node: a GPU executing forward/backward
+// segments, an uplink pushing gradients as directed by its scheduler, and a
+// downlink pulling aggregated parameters.
+type worker struct {
+	id  int
+	eng *sim.Engine
+	cfg *Config
+	ps  *paramServer
+	res *Result
+	rng *sim.Rand
+
+	sched    schedule.Scheduler
+	up, down *netsim.Link
+
+	gpu       metrics.IntervalSeries
+	upRate    *metrics.RateSeries
+	downRate  *metrics.RateSeries
+	iterLog   metrics.IterationLog
+	iterStart float64
+
+	iter      int
+	phase     phase
+	computing bool
+	fwdSeg    int
+	bwdSeg    int
+	// commIter tags in-flight communication with the iteration whose
+	// gradients it carries. Pushes of iteration k keep draining during
+	// forward propagation of k+1 (after w.iter has advanced), so the GPU
+	// counter cannot be used for PS bookkeeping.
+	commIter int
+
+	// releaseAt[i] lists gradients released when backward segment i
+	// completes (i is the lowest index of its aggregation bucket).
+	releaseAt [][]int
+
+	// Per-iteration communication state.
+	genTime     []float64 // absolute release times this iteration
+	pushStart   []float64 // first wire byte of gradient's push
+	pushedSoFar []float64 // cumulative bytes handed to the uplink per gradient
+	pulledBytes []float64
+	pulled      []bool
+
+	pullQ   []*pullMsg
+	pullSeq int
+}
+
+// pullMsg mirrors one completed push message back to the worker.
+type pullMsg struct {
+	seq    int
+	iter   int
+	prio   int
+	bytes  float64
+	stall  float64 // engine dispatch cost per response message
+	pieces []pullPiece
+}
+
+// pullPiece is one gradient slice with its byte range [off, off+bytes).
+type pullPiece struct {
+	grad       int
+	off, bytes float64
+	last       bool
+}
+
+func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, res *Result) *worker {
+	n := cfg.Model.NumGradients()
+	w := &worker{
+		id:          id,
+		eng:         eng,
+		cfg:         cfg,
+		ps:          ps,
+		res:         res,
+		rng:         sim.NewRand(cfg.Seed*1_000_003 + uint64(id)*7919 + 1),
+		up:          netsim.NewLink(eng, cfg.Uplink(id)),
+		down:        netsim.NewLink(eng, cfg.Downlink(id)),
+		upRate:      &metrics.RateSeries{},
+		downRate:    &metrics.RateSeries{},
+		genTime:     make([]float64, n),
+		pushStart:   make([]float64, n),
+		pushedSoFar: make([]float64, n),
+		pulledBytes: make([]float64, n),
+		pulled:      make([]bool, n),
+		releaseAt:   make([][]int, n),
+	}
+	for _, grp := range cfg.Agg.Groups {
+		low := grp[0] // groups are ascending; lowest index computes last
+		w.releaseAt[low] = append([]int(nil), grp...)
+	}
+	if cfg.RecordLinks {
+		w.up.SetRecording(true)
+		w.down.SetRecording(true)
+	}
+	w.up.ObserveTransfers(func(rec netsim.TransferRecord) {
+		w.upRate.Add(rec.Start, rec.End, rec.Bytes)
+	})
+	w.down.ObserveTransfers(func(rec netsim.TransferRecord) {
+		w.downRate.Add(rec.Start, rec.End, rec.Bytes)
+	})
+	w.sched = cfg.Scheduler(id, eng, w.up)
+	return w
+}
+
+// startIteration begins the forward pass of the current iteration.
+func (w *worker) startIteration() {
+	if w.iter >= w.cfg.Iterations {
+		w.phase = phaseDone
+		return
+	}
+	w.phase = phaseForward
+	w.fwdSeg = 0
+	w.advanceForward()
+}
+
+// advanceForward runs forward segments in order, gated on the previous
+// iteration's parameter pulls (Eq. 3). Iteration 0 uses the initial
+// parameters, so it is never gated.
+func (w *worker) advanceForward() {
+	if w.phase != phaseForward || w.computing {
+		return
+	}
+	n := w.cfg.Model.NumGradients()
+	if w.fwdSeg >= n {
+		w.startBackward()
+		return
+	}
+	seg := w.fwdSeg
+	if w.iter > 0 && !w.pulled[seg] {
+		return // GPU idles: T_wait accrues until the pull lands
+	}
+	w.computing = true
+	w.gpu.Start(w.eng.Now())
+	d := w.rng.Jitter(w.cfg.Model.FwdTime(w.cfg.Hardware, w.cfg.Model.Grads[seg], w.cfg.Batch), w.cfg.Jitter)
+	w.eng.Schedule(d, func() {
+		w.gpu.Stop(w.eng.Now())
+		w.computing = false
+		w.fwdSeg++
+		w.advanceForward()
+	})
+}
+
+// startBackward begins backward propagation: communication state resets,
+// the scheduler is told a new iteration of pushes begins, and segments run
+// back-to-front.
+func (w *worker) startBackward() {
+	w.phase = phaseBackward
+	n := w.cfg.Model.NumGradients()
+	w.bwdSeg = n - 1
+	w.commIter = w.iter
+	for i := 0; i < n; i++ {
+		w.pulled[i] = false
+		w.pulledBytes[i] = 0
+		w.pushedSoFar[i] = 0
+		w.genTime[i] = 0
+		w.pushStart[i] = -1
+	}
+	w.pullQ = w.pullQ[:0]
+	w.sched.BeginIteration(w.iter)
+	w.advanceBackward()
+}
+
+func (w *worker) advanceBackward() {
+	if w.bwdSeg < 0 {
+		w.finishIteration()
+		return
+	}
+	seg := w.bwdSeg
+	w.computing = true
+	w.gpu.Start(w.eng.Now())
+	d := w.rng.Jitter(w.cfg.Model.BwdTime(w.cfg.Hardware, w.cfg.Model.Grads[seg], w.cfg.Batch), w.cfg.Jitter)
+	w.eng.Schedule(d, func() {
+		w.gpu.Stop(w.eng.Now())
+		w.computing = false
+		// The aggregation layer releases seg's bucket if seg is its
+		// lowest-index member (the last to compute).
+		if rel := w.releaseAt[seg]; rel != nil {
+			now := w.eng.Now()
+			for _, g := range rel {
+				w.genTime[g] = now
+				w.sched.OnGenerated(g, now)
+			}
+			w.pumpUplink()
+		}
+		w.bwdSeg--
+		w.advanceBackward()
+	})
+}
+
+func (w *worker) finishIteration() {
+	now := w.eng.Now()
+	w.iterLog.Add(w.iterStart, now)
+	w.sched.OnIterationEnd(now - w.iterStart)
+	w.iterStart = now
+	w.iter++
+	w.startIteration()
+}
+
+// pumpUplink keeps the uplink busy while the scheduler has work.
+func (w *worker) pumpUplink() {
+	if w.up.Busy() {
+		return
+	}
+	msg, ok := w.sched.Next(w.eng.Now())
+	if !ok {
+		return
+	}
+	iter := w.commIter
+	start := w.eng.Now()
+	// Record per-gradient push starts and compute byte offsets before the
+	// transfer mutates state.
+	pieces := make([]pullPiece, 0, len(msg.Pieces))
+	for _, pc := range msg.Pieces {
+		if w.pushStart[pc.Grad] < 0 {
+			w.pushStart[pc.Grad] = start
+		}
+		pieces = append(pieces, pullPiece{
+			grad:  pc.Grad,
+			off:   w.pushedSoFar[pc.Grad],
+			bytes: pc.Bytes,
+			last:  pc.Last,
+		})
+		w.pushedSoFar[pc.Grad] += pc.Bytes
+	}
+	pulls := w.mirrorPulls(iter, pieces)
+	for _, pm := range pulls {
+		pm.stall = msg.Stall
+	}
+	w.up.SendExtra(msg.Bytes, msg.Stall, msg.Label, func() {
+		end := w.eng.Now()
+		w.sched.OnSent(msg, start, end)
+		if w.id == 0 && w.res.Transfers != nil {
+			for _, pc := range msg.Pieces {
+				if pc.Last {
+					w.res.Transfers.Add(metrics.TransferEntry{
+						Iteration: iter,
+						Gradient:  pc.Grad,
+						Generated: w.genTime[pc.Grad],
+						Start:     w.pushStart[pc.Grad],
+						End:       end,
+					})
+				}
+			}
+		}
+		w.pullQ = append(w.pullQ, pulls...)
+		w.ps.onPush(w.id, iter, msg) // may unlock pulls on every worker
+		w.pumpUplink()
+	})
+}
+
+// mirrorPulls converts a push message's pieces into one or more pull
+// messages, each at most PullPartition bytes: BytePS serves parameter
+// responses per partition regardless of how pushes were batched, so a
+// large pushed block pipelines back to the worker in partition-sized
+// responses that unlock forward segments as they land.
+func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
+	var total float64
+	for _, pc := range pieces {
+		total += pc.bytes
+	}
+	lim := w.cfg.PullPartition
+	chunks := 1
+	if lim > 0 && total > lim {
+		chunks = int(total/lim + 0.5)
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+	// Equal-sized chunks avoid tiny remainder messages that would pay a
+	// full per-message overhead for a sliver of payload.
+	target := total / float64(chunks)
+	var pulls []*pullMsg
+	cur := &pullMsg{seq: w.pullSeq, iter: iter, prio: 1 << 30}
+	w.pullSeq++
+	flush := func() {
+		if len(cur.pieces) > 0 {
+			pulls = append(pulls, cur)
+		}
+		cur = &pullMsg{seq: w.pullSeq, iter: iter, prio: 1 << 30}
+		w.pullSeq++
+	}
+	add := func(pc pullPiece) {
+		cur.pieces = append(cur.pieces, pc)
+		cur.bytes += pc.bytes
+		if pc.grad < cur.prio {
+			cur.prio = pc.grad
+		}
+		if len(pulls) < chunks-1 && cur.bytes >= target-1 {
+			flush()
+		}
+	}
+	for _, pc := range pieces {
+		for len(pulls) < chunks-1 && cur.bytes+pc.bytes > target {
+			room := target - cur.bytes
+			if room > 0 {
+				head := pullPiece{grad: pc.grad, off: pc.off, bytes: room}
+				pc.off += room
+				pc.bytes -= room
+				add(head)
+			} else {
+				flush()
+			}
+		}
+		if pc.bytes > 0 {
+			add(pc)
+		}
+	}
+	flush()
+	return pulls
+}
+
+// pumpDownlink serves the highest-priority eligible pull when the downlink
+// is free. Eligibility: every piece's byte range has been pushed by all
+// workers (the PS has aggregated those bytes).
+func (w *worker) pumpDownlink() {
+	if w.down.Busy() {
+		return
+	}
+	best := -1
+	for i, pm := range w.pullQ {
+		if !w.ps.covered(w.id, pm) {
+			continue
+		}
+		if best == -1 || pm.prio < w.pullQ[best].prio ||
+			(pm.prio == w.pullQ[best].prio && pm.seq < w.pullQ[best].seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return
+	}
+	pm := w.pullQ[best]
+	w.pullQ = append(w.pullQ[:best], w.pullQ[best+1:]...)
+	w.down.SendExtra(pm.bytes, pm.stall, fmt.Sprintf("pull[g%d]", pm.prio), func() {
+		sizes := w.ps.sizes
+		for _, pc := range pm.pieces {
+			w.pulledBytes[pc.grad] += pc.bytes
+			// Pull chunking splits at fractional byte boundaries, so the
+			// float sum can land a hair under the exact size; within half
+			// a byte the tensor is complete.
+			if w.pulledBytes[pc.grad] >= sizes[pc.grad]-0.5 {
+				w.pulled[pc.grad] = true
+			}
+		}
+		w.ps.gc(pm.iter)
+		w.advanceForward() // a stalled forward segment may now proceed
+		w.pumpDownlink()
+	})
+}
+
+// debugPulled summarizes missing pulls for deadlock reports.
+func (w *worker) debugPulled() string {
+	missing := 0
+	first := -1
+	for i, p := range w.pulled {
+		if !p {
+			missing++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	return fmt.Sprintf("missingPulls=%d first=%d pushedSoFar[first]=%v", missing, first, w.pushedSoFar[max(first, 0)])
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

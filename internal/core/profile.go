@@ -1,0 +1,72 @@
+// Package core implements Prophet's primary contribution: Algorithm 1 —
+// the predictable communication scheduling strategy that assembles
+// gradients into *blocks* sized to fit the stepwise generation pattern —
+// together with the scheduled queue that feeds transfers to the network
+// layer and the analytical DDNN-training performance model of Sec. 3
+// (Eqs. 1–5) used to reason about GPU wait time.
+package core
+
+import (
+	"fmt"
+
+	"prophet/internal/stepwise"
+)
+
+// Profile carries the per-gradient information Algorithm 1 consumes, as
+// produced by the job profiler: generation (release) times c(i) within one
+// iteration, sizes s(i), and the expected transfer intervals A(i).
+type Profile struct {
+	// Gen[i] is c(i): the time, relative to the start of backward
+	// propagation, at which gradient i becomes ready to push. Because
+	// backward propagation runs back-to-front, Gen is non-increasing in
+	// generation order: Gen[0] is the largest.
+	Gen []float64
+	// Bytes[i] is s(i), the wire size of gradient i.
+	Bytes []float64
+	// Intervals[i] is A(i), the expected transfer window of gradient i
+	// (stepwise.Inf when unbounded). If nil, it is derived from Gen.
+	Intervals []float64
+}
+
+// NewProfile builds a profile from generation times and sizes, deriving
+// A(i) from the stepwise structure of gen. eps is the jitter tolerance used
+// when segmenting gen into blocks.
+func NewProfile(gen, bytes []float64, eps float64) (*Profile, error) {
+	p := &Profile{Gen: gen, Bytes: bytes}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	p.Intervals = stepwise.Intervals(gen, eps)
+	return p, nil
+}
+
+func (p *Profile) validate() error {
+	n := len(p.Gen)
+	if n == 0 {
+		return fmt.Errorf("core: empty profile")
+	}
+	if len(p.Bytes) != n {
+		return fmt.Errorf("core: %d generation times but %d sizes", n, len(p.Bytes))
+	}
+	if p.Intervals != nil && len(p.Intervals) != n {
+		return fmt.Errorf("core: %d generation times but %d intervals", n, len(p.Intervals))
+	}
+	for i, b := range p.Bytes {
+		if b <= 0 {
+			return fmt.Errorf("core: gradient %d has size %v", i, b)
+		}
+	}
+	for i, c := range p.Gen {
+		if c < 0 {
+			return fmt.Errorf("core: gradient %d has negative generation time %v", i, c)
+		}
+	}
+	return nil
+}
+
+// N returns the number of gradients.
+func (p *Profile) N() int { return len(p.Gen) }
+
+// BackwardEnd returns c(0), the completion time of backward propagation —
+// the boundary between Algorithm 1's backward and forward phases.
+func (p *Profile) BackwardEnd() float64 { return p.Gen[0] }

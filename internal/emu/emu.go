@@ -1,0 +1,296 @@
+// Package emu runs *real* data-parallel training — the MLP from
+// internal/nn, actual gradient bytes, a live parameter server from
+// internal/ps over rate-shaped connections — under the communication
+// schedules the paper studies. It is the systems-level complement to the
+// discrete-event simulator: goroutines instead of events, wall-clock time
+// instead of a virtual clock.
+//
+// Because the parameter server aggregates deterministically, every
+// schedule produces the bit-identical training trajectory; what changes is
+// *when* tensors move. The emulation records, per iteration, when tensor 0
+// (the gradient gating the next forward pass) finished its round trip.
+package emu
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"prophet/internal/core"
+	"prophet/internal/nn"
+	"prophet/internal/ps"
+	"prophet/internal/transport"
+)
+
+// Policy names the push-ordering strategies the emulation supports.
+type Policy string
+
+// Supported policies: FIFO emission order (default frameworks), strict
+// priority (P3-like, whole tensors), and Prophet's profiled block plan.
+const (
+	FIFO     Policy = "fifo"
+	Priority Policy = "priority"
+	Prophet  Policy = "prophet"
+)
+
+// Config describes an emulated training job.
+type Config struct {
+	// Workers is the number of data-parallel workers (goroutines).
+	Workers int
+	// Layers gives the MLP architecture, e.g. {20, 64, 64, 4}.
+	Layers []int
+	// Dataset is sharded round-robin across workers.
+	Dataset *nn.Dataset
+	// Batch is the per-worker mini-batch size.
+	Batch int
+	// Iterations is the number of synchronous SGD steps.
+	Iterations int
+	// LR is the SGD learning rate.
+	LR float64
+	// Policy selects the push ordering.
+	Policy Policy
+	// BandwidthBytesPerSec shapes each worker's uplink and downlink
+	// (0 = unshaped).
+	BandwidthBytesPerSec float64
+	// Seed drives model initialization (shared by all workers — they must
+	// start from identical parameters).
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("emu: workers %d", c.Workers)
+	}
+	if len(c.Layers) < 2 {
+		return fmt.Errorf("emu: need at least 2 layer sizes")
+	}
+	if c.Dataset == nil {
+		return fmt.Errorf("emu: nil dataset")
+	}
+	if c.Batch <= 0 || c.Iterations <= 0 || c.LR <= 0 {
+		return fmt.Errorf("emu: batch/iterations/lr must be positive")
+	}
+	switch c.Policy {
+	case FIFO, Priority, Prophet:
+	case "":
+		c.Policy = FIFO
+	default:
+		return fmt.Errorf("emu: unknown policy %q", c.Policy)
+	}
+	if c.Dataset.X.Cols != c.Layers[0] {
+		return fmt.Errorf("emu: dataset has %d features, model expects %d", c.Dataset.X.Cols, c.Layers[0])
+	}
+	return nil
+}
+
+// Result reports the emulated run.
+type Result struct {
+	// Losses[i] is the full-dataset loss after iteration i (evaluated on
+	// worker 0's model; all workers are identical).
+	Losses []float64
+	// FinalAccuracy is worker 0's accuracy on the full dataset.
+	FinalAccuracy float64
+	// Tensor0RoundTrip[i] is how long after backward-start tensor 0's
+	// aggregated gradient was back on worker 0 in iteration i — the
+	// latency that gates the next forward pass.
+	Tensor0RoundTrip []time.Duration
+	// IterationTime[i] is worker 0's wall time for iteration i.
+	IterationTime []time.Duration
+	// PushOrder is worker 0's tensor push order in the last iteration.
+	PushOrder []int
+	// Duration is the total wall time.
+	Duration time.Duration
+	// FinalParams is worker 0's flattened parameters (for cross-policy
+	// equality checks).
+	FinalParams []float64
+}
+
+// Run executes the emulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	server := ps.NewServer(cfg.Workers)
+	serverConns := make([]net.Conn, cfg.Workers)
+	clients := make([]*ps.Client, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
+		clients[w] = ps.NewClient(a)
+		serverConns[w] = b
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- server.Serve(serverConns) }()
+
+	res := &Result{}
+	errs := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs <- runWorker(w, cfg, clients[w], res)
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, c := range serverConns {
+		c.Close()
+	}
+	if err := <-serveDone; err != nil {
+		return nil, fmt.Errorf("emu: parameter server: %w", err)
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runWorker executes the synchronous SGD loop for one worker.
+func runWorker(w int, cfg Config, client *ps.Client, res *Result) error {
+	m := nn.NewMLP(cfg.Layers, cfg.Seed)
+	nTensors := m.NumTensors()
+	shardStride := cfg.Workers * cfg.Batch
+
+	// Prophet's plan is built once from a profiling pass (iteration 0
+	// runs FIFO while measuring per-tensor generation times, like the
+	// paper's profiling window).
+	var plan *core.Plan
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := time.Now()
+		lo := (iter*shardStride + w*cfg.Batch) % (cfg.Dataset.X.Rows - cfg.Batch + 1)
+		x, labels := cfg.Dataset.Batch(lo, lo+cfg.Batch)
+
+		logits := m.Forward(x)
+		// Collect tensors in emission order with generation timestamps.
+		var events []genEvent
+		bwdStart := time.Now()
+		m.Backward(logits, labels, func(idx int) {
+			events = append(events, genEvent{idx, time.Since(bwdStart)})
+		})
+
+		order := pushOrder(cfg.Policy, events, plan, nTensors)
+		if w == 0 && iter == cfg.Iterations-1 {
+			res.PushOrder = order
+		}
+
+		// Push in the policy's order; each tensor's pull request goes out
+		// inline right after its push (the request frame is tiny), so
+		// responses pipeline with later pushes — a tensor pushed early
+		// (Prophet/priority put tensor 0 first) completes its round trip
+		// early.
+		chans := make([]<-chan []float64, nTensors)
+		for _, idx := range order {
+			if err := client.Push(iter, idx, m.GradData(idx)); err != nil {
+				return fmt.Errorf("emu: worker %d push: %w", w, err)
+			}
+			ch, err := client.PullAsync(iter, idx)
+			if err != nil {
+				return fmt.Errorf("emu: worker %d pull request: %w", w, err)
+			}
+			chans[idx] = ch
+		}
+		// Collect in priority order: tensor 0's arrival is what would
+		// gate the next forward pass.
+		for idx := 0; idx < nTensors; idx++ {
+			agg, ok := <-chans[idx]
+			if !ok {
+				return fmt.Errorf("emu: worker %d: connection closed during pull", w)
+			}
+			m.SetGrad(idx, agg)
+			if idx == 0 && w == 0 {
+				res.Tensor0RoundTrip = append(res.Tensor0RoundTrip, time.Since(bwdStart))
+			}
+		}
+		m.Step(cfg.LR)
+
+		if w == 0 {
+			res.Losses = append(res.Losses, m.Loss(cfg.Dataset.X, cfg.Dataset.Labels))
+			res.IterationTime = append(res.IterationTime, time.Since(iterStart))
+		}
+
+		// Build Prophet's plan after the profiling iteration.
+		if cfg.Policy == Prophet && plan == nil {
+			p, err := planFromProfile(m, events, cfg.BandwidthBytesPerSec)
+			if err != nil {
+				return err
+			}
+			plan = p
+		}
+	}
+
+	if w == 0 {
+		res.FinalAccuracy = m.Accuracy(cfg.Dataset.X, cfg.Dataset.Labels)
+		for idx := 0; idx < nTensors; idx++ {
+			res.FinalParams = append(res.FinalParams, m.ParamData(idx)...)
+		}
+	}
+	return nil
+}
+
+// genEvent records one tensor's gradient becoming available during
+// backward propagation.
+type genEvent struct {
+	idx int
+	at  time.Duration
+}
+
+// pushOrder decides the tensor push order for one iteration.
+func pushOrder(policy Policy, events []genEvent, plan *core.Plan, nTensors int) []int {
+	order := make([]int, 0, nTensors)
+	switch policy {
+	case Priority:
+		for _, e := range events {
+			order = append(order, e.idx)
+		}
+		sort.Ints(order)
+	case Prophet:
+		if plan == nil { // profiling iteration runs FIFO
+			for _, e := range events {
+				order = append(order, e.idx)
+			}
+			break
+		}
+		for _, u := range plan.Units {
+			order = append(order, u.Grads()...)
+		}
+	default: // FIFO: emission order
+		for _, e := range events {
+			order = append(order, e.idx)
+		}
+	}
+	return order
+}
+
+// planFromProfile runs Algorithm 1 over measured generation times.
+func planFromProfile(m *nn.MLP, events []genEvent, bandwidth float64) (*core.Plan, error) {
+	n := m.NumTensors()
+	gen := make([]float64, n)
+	bytes := make([]float64, n)
+	for _, e := range events {
+		gen[e.idx] = e.at.Seconds()
+	}
+	for idx, t := range m.Tensors() {
+		bytes[idx] = float64(8 * t.Elems)
+	}
+	prof, err := core.NewProfile(gen, bytes, 1e-6)
+	if err != nil {
+		return nil, fmt.Errorf("emu: profile: %w", err)
+	}
+	bw := bandwidth
+	if bw <= 0 {
+		bw = 1e9 // unshaped: any large value, plan degenerates to groups
+	}
+	return core.Assemble(prof, core.Config{Bandwidth: bw, Partition: 64e3})
+}

@@ -1,0 +1,199 @@
+package emu
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"prophet/internal/nn"
+)
+
+func baseConfig() Config {
+	return Config{
+		Workers:    2,
+		Layers:     []int{8, 16, 4},
+		Dataset:    nn.Blobs(256, 8, 4, 11),
+		Batch:      32,
+		Iterations: 6,
+		LR:         0.1,
+		Seed:       5,
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{},
+		{Workers: 1},
+		{Workers: 1, Layers: []int{4, 2}},
+		{Workers: 1, Layers: []int{4, 2}, Dataset: nn.Blobs(10, 4, 2, 1)},
+		func() Config {
+			c := baseConfig()
+			c.Policy = "magic"
+			return c
+		}(),
+		func() Config {
+			c := baseConfig()
+			c.Layers = []int{9, 4} // feature mismatch
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTrainingConvergesUnderFIFO(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Iterations = 12
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != cfg.Iterations {
+		t.Fatalf("got %d losses", len(res.Losses))
+	}
+	if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+}
+
+func TestAllPoliciesIdenticalTrajectory(t *testing.T) {
+	// Synchronous SGD with deterministic aggregation: the push order must
+	// not change the math, only the timing.
+	var params [][]float64
+	var losses [][]float64
+	for _, p := range []Policy{FIFO, Priority, Prophet} {
+		cfg := baseConfig()
+		cfg.Policy = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		params = append(params, res.FinalParams)
+		losses = append(losses, res.Losses)
+	}
+	for i := 1; i < len(params); i++ {
+		if len(params[i]) != len(params[0]) {
+			t.Fatal("param length mismatch")
+		}
+		for j := range params[0] {
+			if params[i][j] != params[0][j] {
+				t.Fatalf("policy %d diverged at param %d: %v vs %v", i, j, params[i][j], params[0][j])
+			}
+		}
+		for j := range losses[0] {
+			if losses[i][j] != losses[0][j] {
+				t.Fatalf("policy %d loss diverged at iteration %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPushOrderReflectsPolicy(t *testing.T) {
+	fifoCfg := baseConfig()
+	fifoCfg.Policy = FIFO
+	fifoRes, err := Run(fifoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO pushes in emission order: bias/weight of the LAST layer first.
+	n := len(fifoRes.PushOrder)
+	if n == 0 {
+		t.Fatal("no push order recorded")
+	}
+	if fifoRes.PushOrder[0] != n-1 {
+		t.Fatalf("FIFO first push = tensor %d, want %d (last layer bias)", fifoRes.PushOrder[0], n-1)
+	}
+
+	prioCfg := baseConfig()
+	prioCfg.Policy = Priority
+	prioRes, err := Run(prioCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(prioRes.PushOrder) {
+		t.Fatalf("priority push order not sorted: %v", prioRes.PushOrder)
+	}
+}
+
+func TestProphetPushOrderCoversAllTensors(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = Prophet
+	cfg.BandwidthBytesPerSec = 20e6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, idx := range res.PushOrder {
+		if seen[idx] {
+			t.Fatalf("tensor %d pushed twice: %v", idx, res.PushOrder)
+		}
+		seen[idx] = true
+	}
+	// Layers {8,16,4} → 2 dense layers → 4 tensors.
+	if len(seen) != 4 {
+		t.Fatalf("push order covers %d tensors: %v", len(seen), res.PushOrder)
+	}
+}
+
+func TestTensor0RoundTripRecorded(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tensor0RoundTrip) != cfg.Iterations {
+		t.Fatalf("got %d round trips", len(res.Tensor0RoundTrip))
+	}
+	for i, d := range res.Tensor0RoundTrip {
+		if d <= 0 {
+			t.Fatalf("round trip %d = %v", i, d)
+		}
+	}
+}
+
+func TestShapedBandwidthSlowsTraining(t *testing.T) {
+	fast := baseConfig()
+	fast.Iterations = 3
+	fastRes, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := baseConfig()
+	slow.Iterations = 3
+	slow.BandwidthBytesPerSec = 300e3 // 0.3 MB/s
+	slow.Layers = []int{8, 1024, 4}   // ~13k params ≈ 107 KB per direction
+	fastBig := slow
+	fastBig.BandwidthBytesPerSec = 0
+	slowRes, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastBigRes, err := Run(fastBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fastRes
+	// ~320 KB through 0.3 MB/s adds most of a second of pure shaping; the
+	// unshaped run has none of it. Compare with an absolute margin so
+	// compute slowdowns (e.g. under -race) cannot flake the test.
+	if slowRes.Duration < fastBigRes.Duration+300*time.Millisecond {
+		t.Fatalf("shaping had too little effect: %v vs %v", slowRes.Duration, fastBigRes.Duration)
+	}
+}
+
+func TestMoreWorkersStillConverge(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workers = 4
+	cfg.Iterations = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("accuracy %v too low", res.FinalAccuracy)
+	}
+}

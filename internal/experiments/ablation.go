@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"prophet/internal/cluster"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/profiler"
+	"prophet/internal/schedule"
+	"prophet/internal/sim"
+	"prophet/internal/stepwise"
+)
+
+// AblationBlocksResult isolates what the stepwise windows buy: Prophet with
+// profiled windows vs a variant whose windows are all infinite (blocks grow
+// unbounded, so preemption is lost) vs fixed-credit scheduling.
+type AblationBlocksResult struct {
+	Prophet, NoWindows, FixedCredit float64
+}
+
+// Name implements Result.
+func (r *AblationBlocksResult) Name() string { return "ablation-blocks" }
+
+// Render implements Result.
+func (r *AblationBlocksResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation — window-fitted blocks (ResNet50 bs64, 2 Gbps)\n")
+	fmt.Fprintf(w, "  prophet (profiled windows)   %6.2f samples/s\n", r.Prophet)
+	fmt.Fprintf(w, "  prophet (windows removed)    %6.2f samples/s\n", r.NoWindows)
+	fmt.Fprintf(w, "  fixed 4 MB credit            %6.2f samples/s\n", r.FixedCredit)
+}
+
+// AblationBlocks runs the ablation.
+func AblationBlocks(cfg Config) (*AblationBlocksResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	link := linkMbps(2000)
+	pro, err := s.rate(cfg, s.prophet(), link, 3)
+	if err != nil {
+		return nil, err
+	}
+	// Windows removed: same Prophet, but block assembly ignores the
+	// stepwise transfer windows.
+	noWinFactory := func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
+		sched := s.prophet()(w, eng, uplink)
+		p := sched.(*schedule.Prophet)
+		if err := p.SetIgnoreWindows(true); err != nil {
+			panic(err)
+		}
+		return p
+	}
+	noWin, err := s.rate(cfg, noWinFactory, link, 3)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := s.rate(cfg, s.byteScheduler(), link, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationBlocksResult{Prophet: pro, NoWindows: noWin, FixedCredit: fixed}, nil
+}
+
+// AblationMonitorResult shows the bandwidth monitor's value: under a
+// varying-bandwidth trace, Prophet re-planning from monitored bandwidth vs
+// a variant stuck with its initial estimate.
+type AblationMonitorResult struct {
+	Monitored, Stale float64
+	Replans          string
+}
+
+// Name implements Result.
+func (r *AblationMonitorResult) Name() string { return "ablation-monitor" }
+
+// Render implements Result.
+func (r *AblationMonitorResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation — bandwidth monitor under varying bandwidth (ResNet50 bs64)\n")
+	fmt.Fprintf(w, "  monitored (re-planning)  %6.2f samples/s\n", r.Monitored)
+	fmt.Fprintf(w, "  stale initial estimate   %6.2f samples/s\n", r.Stale)
+}
+
+// AblationMonitor runs the ablation.
+func AblationMonitor(cfg Config) (*AblationMonitorResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Iterations < 16 && !cfg.Quick {
+		cfg.Iterations = 16
+	}
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Bandwidth drops from 4 Gbps to 1.5 Gbps mid-run and recovers.
+	varying := func(int) netsim.LinkConfig {
+		tr := netsim.NewStepTrace(
+			netsim.Step{From: 0, Rate: netsim.Goodput(netsim.Gbps(4))},
+			netsim.Step{From: 8, Rate: netsim.Goodput(netsim.Gbps(1.5))},
+			netsim.Step{From: 25, Rate: netsim.Goodput(netsim.Gbps(4))},
+		)
+		return netsim.DefaultLinkConfig(tr)
+	}
+	mon, err := s.rate(cfg, s.prophet(), varying, 3)
+	if err != nil {
+		return nil, err
+	}
+	// Stale variant: bandwidth source pinned to the t=0 estimate.
+	staleFactory := func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
+		lcfg := uplink.Config()
+		initial := lcfg.Trace.At(0)
+		overhead := func(bw float64) float64 { return lcfg.SetupTime + lcfg.RampBytes/bw }
+		p, err := schedule.NewProphet(s.prof.Profile(), func() float64 { return initial }, overhead)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	stale, err := s.rate(cfg, staleFactory, varying, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationMonitorResult{Monitored: mon, Stale: stale}, nil
+}
+
+// AblationProfileResult compares plan quality from a 5-iteration profile
+// against the paper's 50 iterations, under compute jitter.
+type AblationProfileResult struct {
+	Short, Long   float64
+	ShortWallTime float64
+	LongWallTime  float64
+}
+
+// Name implements Result.
+func (r *AblationProfileResult) Name() string { return "ablation-profile" }
+
+// Render implements Result.
+func (r *AblationProfileResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation — profiling length (ResNet50 bs64, 2 Gbps)\n")
+	fmt.Fprintf(w, "  5-iteration profile   %6.2f samples/s (profiling cost %5.1f s)\n", r.Short, r.ShortWallTime)
+	fmt.Fprintf(w, "  50-iteration profile  %6.2f samples/s (profiling cost %5.1f s)\n", r.Long, r.LongWallTime)
+}
+
+// AblationProfile runs the ablation.
+func AblationProfile(cfg Config) (*AblationProfileResult, error) {
+	cfg = cfg.withDefaults()
+	base := model.ResNet50()
+	wire := model.WithWireFactor(base, WireFactor)
+	agg := stepwise.Aggregate(wire, wire.TotalBytes()/13, 0)
+	link := linkMbps(2000)
+	out := &AblationProfileResult{}
+	for _, n := range []int{5, 50} {
+		prof, err := profilerRunN(wire, 64, agg, cfg.Seed, n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cluster.Run(cluster.Config{
+			Model: wire, Batch: 64, Workers: 3, Agg: agg,
+			Uplink:     link,
+			Scheduler:  cluster.ProphetFactory(prof.Profile()),
+			Iterations: cfg.Iterations, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n == 5 {
+			out.Short = res.Rate(cfg.Warmup)
+			out.ShortWallTime = prof.WallTime
+		} else {
+			out.Long = res.Rate(cfg.Warmup)
+			out.LongWallTime = prof.WallTime
+		}
+	}
+	return out, nil
+}
+
+// AblationOverheadResult removes the per-message overhead entirely: with a
+// free wire, P3's fine partitions stop losing — demonstrating that Eq. 10's
+// message-size penalty is what separates the strategies.
+type AblationOverheadResult struct {
+	// WithOverhead / NoOverhead: [fifo, p3, bytescheduler, prophet].
+	WithOverhead, NoOverhead [4]float64
+}
+
+// Name implements Result.
+func (r *AblationOverheadResult) Name() string { return "ablation-overhead" }
+
+// Render implements Result.
+func (r *AblationOverheadResult) Render(w io.Writer) {
+	names := [4]string{"fifo", "p3", "bytescheduler", "prophet"}
+	fmt.Fprintf(w, "Ablation — per-message overhead on/off (ResNet50 bs64, 2 Gbps)\n")
+	fmt.Fprintf(w, "  %-14s %12s %12s\n", "strategy", "with", "without")
+	for i, n := range names {
+		fmt.Fprintf(w, "  %-14s %9.2f/s %9.2f/s\n", n, r.WithOverhead[i], r.NoOverhead[i])
+	}
+	fmt.Fprintf(w, "  without per-message costs the strategies converge: the overhead model\n")
+	fmt.Fprintf(w, "  (Eq. 10) is what penalizes fine-grained partitioning\n")
+}
+
+// AblationOverhead runs the ablation.
+func AblationOverhead(cfg Config) (*AblationOverheadResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationOverheadResult{}
+	for variant := 0; variant < 2; variant++ {
+		link := linkMbps(2000)
+		if variant == 1 {
+			link = func(int) netsim.LinkConfig {
+				return netsim.LinkConfig{
+					Trace:     netsim.Const(netsim.Goodput(netsim.Mbps(2000))),
+					SetupTime: 0,
+					RampBytes: 0,
+				}
+			}
+		}
+		factories := []cluster.SchedulerFactory{s.fifo(), s.p3(), s.byteScheduler(), s.prophet()}
+		for i, f := range factories {
+			rate, err := s.rate(cfg, f, link, 3)
+			if err != nil {
+				return nil, err
+			}
+			if variant == 0 {
+				out.WithOverhead[i] = rate
+			} else {
+				out.NoOverhead[i] = rate
+			}
+		}
+	}
+	return out, nil
+}
+
+// profilerRunN profiles with an explicit iteration count.
+func profilerRunN(m *model.Model, batch int, agg stepwise.Buckets, seed uint64, iters int) (*profiler.Result, error) {
+	return profiler.Run(profiler.Config{
+		Model: m, Batch: batch, Agg: agg, Seed: seed, Iterations: iters,
+	})
+}

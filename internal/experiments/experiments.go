@@ -1,0 +1,286 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 2 motivation and Sec. 5) on the simulated cluster. Each
+// experiment returns a typed result that renders the same rows or series
+// the paper reports, alongside the paper's own numbers where it states
+// them, so EXPERIMENTS.md can record paper-vs-measured directly.
+//
+// Shared setup mirrors the paper's testbed through the substitutions in
+// DESIGN.md §2: g3.8xlarge-like workers (2 GPUs behind one NIC → wire
+// factor 2), a single PS whose NIC is never the bottleneck except where an
+// experiment shares it explicitly, EC2-like TCP goodput, and the BytePS
+// default configurations for the baselines (P3 partition 4 MB,
+// ByteScheduler credit 4 MB).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prophet/internal/cluster"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/profiler"
+	"prophet/internal/stepwise"
+)
+
+// Config holds the global experiment knobs.
+type Config struct {
+	// Iterations per simulated run (default 12).
+	Iterations int
+	// Warmup iterations excluded from steady-state metrics (default 2).
+	Warmup int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick trims sweeps for fast smoke runs (used by tests and -short
+	// benchmarks).
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 {
+		c.Iterations = 12
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Quick && c.Iterations > 8 {
+		c.Iterations = 8
+	}
+	return c
+}
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Name returns the experiment id, e.g. "fig8" or "table2".
+	Name() string
+	// Render writes a human-readable reproduction of the table/figure.
+	Render(w io.Writer)
+}
+
+// Spec describes one registered experiment.
+type Spec struct {
+	// ID is the registry key ("fig2" ... "table3", "sec53-hetero", ...).
+	ID string
+	// Paper says which table/figure of the paper this regenerates.
+	Paper string
+	// Desc is a one-line description.
+	Desc string
+	// Run executes the experiment.
+	Run func(Config) (Result, error)
+}
+
+// All returns every registered experiment, in presentation order.
+func All() []Spec {
+	return []Spec{
+		{"fig2", "Fig. 2", "GPU util and network throughput over time, default MXNet, ResNet152", func(c Config) (Result, error) { return Fig2(c) }},
+		{"fig3a", "Fig. 3(a)", "P3 training-rate collapse as partitions shrink", func(c Config) (Result, error) { return Fig3a(c) }},
+		{"fig3b", "Fig. 3(b)", "ByteScheduler rate fluctuation under credit auto-tuning", func(c Config) (Result, error) { return Fig3b(c) }},
+		{"fig4", "Fig. 4", "Stepwise pattern of gradient generation times", func(c Config) (Result, error) { return Fig4(c) }},
+		{"fig5", "Fig. 5", "Illustrative schedule comparison on the Sec. 2.3 example", func(c Config) (Result, error) { return Fig5(c) }},
+		{"fig8", "Fig. 8", "Training rate, models x batch sizes, Prophet vs ByteScheduler", func(c Config) (Result, error) { return Fig8(c) }},
+		{"fig9", "Fig. 9", "GPU utilization over time, ResNet50", func(c Config) (Result, error) { return Fig9(c) }},
+		{"fig10", "Fig. 10", "Network throughput over time, ResNet50", func(c Config) (Result, error) { return Fig10(c) }},
+		{"fig11", "Fig. 11", "Per-gradient transfer start/end times", func(c Config) (Result, error) { return Fig11(c) }},
+		{"table2", "Table 2", "ResNet50 rate under bandwidth limits 1-10 Gbps", func(c Config) (Result, error) { return Table2(c) }},
+		{"table3", "Table 3", "Batch-size sweep, ResNet18/50", func(c Config) (Result, error) { return Table3(c) }},
+		{"fig12", "Fig. 12", "Scalability from 2 to 8 workers", func(c Config) (Result, error) { return Fig12(c) }},
+		{"fig13", "Fig. 13", "Profiling overhead on early GPU utilization", func(c Config) (Result, error) { return Fig13(c) }},
+		{"sec53-bandwidth", "Sec. 5.3", "ResNet18 under 3 vs 10 Gbps, MXNet/P3/Prophet", func(c Config) (Result, error) { return Sec53Bandwidth(c) }},
+		{"sec53-hetero", "Sec. 5.3", "One worker limited to 500 Mbps", func(c Config) (Result, error) { return Sec53Hetero(c) }},
+		{"sec54-profiling", "Sec. 5.4", "Profiling wall-time overhead", func(c Config) (Result, error) { return Sec54Profiling(c) }},
+		{"ablation-blocks", "DESIGN §5", "Window-fitted blocks vs fixed credit (what the stepwise pattern buys)", func(c Config) (Result, error) { return AblationBlocks(c) }},
+		{"ablation-monitor", "DESIGN §5", "Bandwidth monitor vs stale estimate under varying bandwidth", func(c Config) (Result, error) { return AblationMonitor(c) }},
+		{"ablation-profile", "DESIGN §5", "Plan quality vs profiling length", func(c Config) (Result, error) { return AblationProfile(c) }},
+		{"ablation-overhead", "DESIGN §5", "Per-message overhead on/off (why small partitions lose)", func(c Config) (Result, error) { return AblationOverhead(c) }},
+		{"ext-asp", "Sec. 7 (1)", "Future work: the stepwise pattern and Prophet under ASP", func(c Config) (Result, error) { return ExtASP(c) }},
+		{"ext-hardware", "Sec. 7 (2)", "Future work: p3-class (V100) instances", func(c Config) (Result, error) { return ExtHardware(c) }},
+		{"ext-shapes", "extension", "Prophet's benefit vs tensor-size distribution (synthetic workloads)", func(c Config) (Result, error) { return ExtShapes(c) }},
+		{"ext-transformer", "extension", "Schedulers on a BERT-base-like encoder (embedding-first)", func(c Config) (Result, error) { return ExtTransformer(c) }},
+		{"ext-allreduce", "extension", "PS+Prophet vs ring all-reduce with and without fusion", func(c Config) (Result, error) { return ExtAllReduce(c) }},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, s := range All() {
+		ids = append(ids, s.ID)
+	}
+	sort.Strings(ids)
+	return Spec{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}
+
+// WireFactor is the per-node traffic multiplier (2 GPU processes behind one
+// NIC; DESIGN.md §2).
+const WireFactor = 2
+
+// setup bundles the per-(model, batch) preparation shared by experiments.
+type setup struct {
+	base  *model.Model
+	wire  *model.Model
+	batch int
+	agg   stepwise.Buckets
+	prof  *profiler.Result
+}
+
+// prepare profiles the given model at the given batch size.
+func prepare(base *model.Model, batch int, seed uint64) (*setup, error) {
+	wire := model.WithWireFactor(base, WireFactor)
+	return prepareWithHardware(wire, batch, seed, model.M60Like())
+}
+
+// prepareWithHardware profiles an already-wire-scaled model on explicit
+// hardware.
+func prepareWithHardware(wire *model.Model, batch int, seed uint64, hw model.Hardware) (*setup, error) {
+	aggBytes := wire.TotalBytes() / 13
+	if aggBytes < 4e6 {
+		aggBytes = 4e6
+	}
+	agg := stepwise.Aggregate(wire, aggBytes, 0)
+	prof, err := profiler.Run(profiler.Config{
+		Model:    wire,
+		Hardware: hw,
+		Batch:    batch,
+		Agg:      agg,
+		Seed:     seed * 97,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &setup{base: wire, wire: wire, batch: batch, agg: agg, prof: prof}, nil
+}
+
+// rateHW is rate with an explicit hardware profile.
+func (s *setup) rateHW(cfg Config, factory cluster.SchedulerFactory, link func(int) netsim.LinkConfig, workers int, hw model.Hardware) (float64, error) {
+	res, err := cluster.Run(cluster.Config{
+		Model:      s.wire,
+		Hardware:   hw,
+		Batch:      s.batch,
+		Workers:    workers,
+		Agg:        s.agg,
+		Uplink:     link,
+		Scheduler:  factory,
+		Iterations: cfg.Iterations,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Rate(cfg.Warmup), nil
+}
+
+// linkMbps builds a per-worker link config at the given nominal line rate in
+// Mbps (the paper's "bandwidth limit"), applying the EC2 goodput factor.
+func linkMbps(mbps float64) func(int) netsim.LinkConfig {
+	return func(int) netsim.LinkConfig {
+		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(mbps))))
+	}
+}
+
+// sharedPSLink models the Fig. 8 regime: a single PS with a 10 Gbps NIC
+// serving all workers, so each worker's effective share is 10/W Gbps.
+func sharedPSLink(workers int) func(int) netsim.LinkConfig {
+	share := netsim.Goodput(netsim.Gbps(10)) / float64(workers)
+	return func(int) netsim.LinkConfig {
+		return netsim.DefaultLinkConfig(netsim.Const(share))
+	}
+}
+
+// strategies
+const (
+	p3Partition = 4e6 // paper Sec. 5.1: "we set the partition size of P3 as 4 MB"
+	bsCredit    = 4e6 // BytePS default credit
+)
+
+func (s *setup) fifo() cluster.SchedulerFactory { return cluster.FIFOFactory(s.wire) }
+
+func (s *setup) p3() cluster.SchedulerFactory { return cluster.P3Factory(s.wire, p3Partition) }
+
+func (s *setup) p3At(partition float64) cluster.SchedulerFactory {
+	return cluster.P3Factory(s.wire, partition)
+}
+
+func (s *setup) byteScheduler() cluster.SchedulerFactory {
+	return cluster.ByteSchedulerFactory(s.wire, bsCredit)
+}
+
+func (s *setup) tunedByteScheduler(seed uint64) cluster.SchedulerFactory {
+	return cluster.TunedByteSchedulerFactory(s.wire, bsCredit, 1e6, 16e6, seed)
+}
+
+func (s *setup) prophet() cluster.SchedulerFactory {
+	return cluster.ProphetFactory(s.prof.Profile())
+}
+
+// run executes one simulation.
+func (s *setup) run(cfg Config, factory cluster.SchedulerFactory, link func(int) netsim.LinkConfig, workers int) (*cluster.Result, error) {
+	return cluster.Run(cluster.Config{
+		Model:      s.wire,
+		Batch:      s.batch,
+		Workers:    workers,
+		Agg:        s.agg,
+		Uplink:     link,
+		Scheduler:  factory,
+		Iterations: cfg.Iterations,
+		Seed:       cfg.Seed,
+	})
+}
+
+// runLogged is run with the per-gradient transfer log enabled.
+func (s *setup) runLogged(cfg Config, factory cluster.SchedulerFactory, link func(int) netsim.LinkConfig, workers int) (*cluster.Result, error) {
+	return cluster.Run(cluster.Config{
+		Model:        s.wire,
+		Batch:        s.batch,
+		Workers:      workers,
+		Agg:          s.agg,
+		Uplink:       link,
+		Scheduler:    factory,
+		Iterations:   cfg.Iterations,
+		Seed:         cfg.Seed,
+		LogTransfers: true,
+	})
+}
+
+// rate is run + steady-state rate extraction.
+func (s *setup) rate(cfg Config, factory cluster.SchedulerFactory, link func(int) netsim.LinkConfig, workers int) (float64, error) {
+	res, err := s.run(cfg, factory, link, workers)
+	if err != nil {
+		return 0, err
+	}
+	return res.Rate(cfg.Warmup), nil
+}
+
+func pct(new, old float64) float64 { return 100 * (new/old - 1) }
+
+// sparkline renders a numeric series as a compact unicode bar chart.
+func sparkline(xs []float64, lo, hi float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	if hi <= lo {
+		hi = lo + 1
+	}
+	out := make([]rune, len(xs))
+	for i, x := range xs {
+		f := (x - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		idx := int(f * float64(len(bars)-1))
+		out[i] = bars[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Iterations: 6, Warmup: 1, Seed: 3} }
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	specs := All()
+	if len(specs) < 16 {
+		t.Fatalf("only %d experiments registered", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.ID] {
+			t.Fatalf("duplicate id %q", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil || s.Desc == "" || s.Paper == "" {
+			t.Fatalf("incomplete spec %+v", s)
+		}
+	}
+	// Every evaluation figure and table from the paper is covered.
+	for _, id := range []string{"fig2", "fig3a", "fig3b", "fig4", "fig5", "fig8",
+		"fig9", "fig10", "fig11", "table2", "table3", "fig12", "fig13",
+		"sec53-bandwidth", "sec53-hetero", "sec54-profiling"} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("expected error")
+	}
+	s, err := ByID("fig8")
+	if err != nil || s.ID != "fig8" {
+		t.Fatalf("ByID(fig8) = %+v, %v", s, err)
+	}
+}
+
+// TestEveryExperimentRunsAndRenders smoke-runs the full registry in quick
+// mode: each must complete, carry its id, and render non-empty output.
+func TestEveryExperimentRunsAndRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			res, err := spec.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			if res.Name() != spec.ID {
+				t.Fatalf("result name %q != id %q", res.Name(), spec.ID)
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}
+
+func TestFig2ShowsIdleGPU(t *testing.T) {
+	r, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgGPUUtil >= 0.95 {
+		t.Fatalf("FIFO ResNet152 at 3 Gbps should leave the GPU idle; util = %v", r.AvgGPUUtil)
+	}
+	if r.IdleFraction <= 0 {
+		t.Fatal("expected fully-idle bins")
+	}
+}
+
+func TestFig3aMonotoneInPartition(t *testing.T) {
+	r, err := Fig3a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate with the smallest partitions must be clearly below the best.
+	worst, best := r.Rates[0], r.Rates[0]
+	for _, v := range r.Rates {
+		if v < worst {
+			worst = v
+		}
+		if v > best {
+			best = v
+		}
+	}
+	if r.Rates[0] != worst {
+		t.Fatalf("smallest partition should be slowest: %v", r.Rates)
+	}
+	if best < worst*1.2 {
+		t.Fatalf("partition size should matter strongly: %v", r.Rates)
+	}
+}
+
+func TestFig3bTunedFluctuatesMore(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Iterations = 24
+	r, err := Fig3b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spread <= r.FixedSpread {
+		t.Fatalf("tuned spread %v should exceed fixed %v", r.Spread, r.FixedSpread)
+	}
+}
+
+func TestFig4BlockStructure(t *testing.T) {
+	r, err := Fig4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ResNet50Blocks) < 10 {
+		t.Fatalf("ResNet50 should show many stepwise blocks, got %d", len(r.ResNet50Blocks))
+	}
+	if len(r.VGG19Blocks) < 3 || len(r.VGG19Blocks) > 6 {
+		t.Fatalf("VGG19 should show ~4 blocks, got %d", len(r.VGG19Blocks))
+	}
+}
+
+func TestFig5ProphetStartsGradZeroOnTime(t *testing.T) {
+	r, err := Fig5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, s := range r.Strategies {
+		idx[s] = i
+	}
+	// Prophet starts gradient 0 at its generation time (60 ms).
+	if g0 := r.Grad0Start[idx["prophet"]]; g0 > 0.0601 {
+		t.Fatalf("prophet gradient-0 start %v, want 0.060", g0)
+	}
+	// FIFO blocks gradient 0 behind the large gradient 1.
+	if r.Grad0Start[idx["default-fifo"]] <= r.Grad0Start[idx["prophet"]] {
+		t.Fatal("FIFO should delay gradient 0 relative to Prophet")
+	}
+}
+
+func TestFig8ProphetWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Improvement < -3 {
+			t.Fatalf("%s bs%d: Prophet materially slower than ByteScheduler (%+.1f%%)",
+				row.Model, row.Batch, row.Improvement)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cfg := quickCfg()
+	cfg.Quick = false // need the full sweep for the shape assertions
+	cfg.Iterations = 8
+	r, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.LimitsMbps)
+	// Rates increase with bandwidth for every strategy.
+	for i := 1; i < n; i++ {
+		if r.Prophet[i] < r.Prophet[i-1]*0.95 {
+			t.Fatalf("prophet rate not increasing with bandwidth: %v", r.Prophet)
+		}
+	}
+	// At 10 Gbps all strategies converge within 5%.
+	last := n - 1
+	if diff := (r.Prophet[last] - r.BS[last]) / r.BS[last]; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("strategies should converge at 10 Gbps: prophet %v bs %v", r.Prophet[last], r.BS[last])
+	}
+	// In the 2-3 Gbps band Prophet leads ByteScheduler.
+	if r.Prophet[1] <= r.BS[1] {
+		t.Fatalf("Prophet should lead at 2 Gbps: %v vs %v", r.Prophet[1], r.BS[1])
+	}
+}
+
+func TestFig12NearLinearScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := Fig12(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.PerWorkerRate[0]
+	lastIdx := len(r.PerWorkerRate) - 1
+	if r.PerWorkerRate[lastIdx] < 0.9*first {
+		t.Fatalf("per-worker rate dropped >10%% from %d to %d workers: %v",
+			r.Workers[0], r.Workers[lastIdx], r.PerWorkerRate)
+	}
+}
+
+func TestSec53HeteroOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := Sec53Hetero(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.Prophet > r.FIFO && r.BS > r.FIFO) {
+		t.Fatalf("both schedulers should beat MXNet in hetero cluster: %+v", r)
+	}
+}
+
+func TestSec54ProfilingOrdering(t *testing.T) {
+	r, err := Sec54Profiling(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ResNet152 bs32 must cost more than ResNet50 bs64 (paper shape).
+	var rn50, rn152 float64
+	for i, m := range r.Models {
+		switch m {
+		case "resnet50":
+			rn50 = r.WallTimeS[i]
+		case "resnet152":
+			rn152 = r.WallTimeS[i]
+		}
+	}
+	if !(rn152 > rn50) {
+		t.Fatalf("profiling cost ordering broken: rn50=%v rn152=%v", rn50, rn152)
+	}
+}
+
+func TestAblationOverheadConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := AblationOverhead(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without per-message overhead, P3 must close most of its gap to
+	// Prophet.
+	gapWith := r.WithOverhead[3] - r.WithOverhead[1]
+	gapWithout := r.NoOverhead[3] - r.NoOverhead[1]
+	if gapWithout > gapWith {
+		t.Fatalf("removing overhead should shrink P3's gap: with=%v without=%v", gapWith, gapWithout)
+	}
+}
+
+func TestRenderMentionsPaperNumbers(t *testing.T) {
+	// The renders double as the EXPERIMENTS.md source, so every one must
+	// reference the paper's reported values.
+	r, err := Fig5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "paper") {
+		t.Fatal("render should cite the paper's observation")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 0.5, 1}, 0, 1)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if sparkline(nil, 0, 1) != "" {
+		t.Fatal("empty input should give empty sparkline")
+	}
+}

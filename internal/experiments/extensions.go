@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"prophet/internal/cluster"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/workload"
+)
+
+// ExtASPResult covers the paper's future-work direction 1: the stepwise
+// pattern — a property of backward propagation and the aggregation layer —
+// is unchanged under Asynchronous Parallel training, so Prophet's block
+// scheduling still applies; and ASP decouples stragglers that BSP lets
+// bind the whole cluster.
+type ExtASPResult struct {
+	// BSPHetero and ASPHetero are worker 0's (fast link) rates with one
+	// straggler in the cluster.
+	BSPHetero, ASPHetero float64
+	// ASPFIFO and ASPProphet compare schedulers under ASP on homogeneous
+	// constrained links.
+	ASPFIFO, ASPProphet float64
+}
+
+// Name implements Result.
+func (r *ExtASPResult) Name() string { return "ext-asp" }
+
+// Render implements Result.
+func (r *ExtASPResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — ASP (paper future work 1), ResNet50 bs64\n")
+	fmt.Fprintf(w, "  straggler cluster, fast worker's rate: BSP %6.2f → ASP %6.2f samples/s\n", r.BSPHetero, r.ASPHetero)
+	fmt.Fprintf(w, "  under ASP at 2 Gbps: fifo %6.2f vs prophet %6.2f samples/s (%+.1f%%)\n",
+		r.ASPFIFO, r.ASPProphet, pct(r.ASPProphet, r.ASPFIFO))
+	fmt.Fprintf(w, "  the stepwise pattern is produced by backward propagation, so Prophet's\n")
+	fmt.Fprintf(w, "  blocks keep their value without the BSP barrier\n")
+}
+
+// ExtASP runs the extension.
+func ExtASP(cfg Config) (*ExtASPResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hetero := func(w int) netsim.LinkConfig {
+		mbps := 3000.0
+		if w == 1 {
+			mbps = 500
+		}
+		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(mbps))))
+	}
+	runASP := func(factory cluster.SchedulerFactory, link func(int) netsim.LinkConfig, asp bool) (float64, error) {
+		res, err := cluster.Run(cluster.Config{
+			Model: s.wire, Batch: s.batch, Workers: 3, Agg: s.agg,
+			Uplink: link, Scheduler: factory,
+			Iterations: cfg.Iterations, Seed: cfg.Seed, ASP: asp,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Rate(cfg.Warmup), nil
+	}
+	bspHet, err := runASP(s.prophet(), hetero, false)
+	if err != nil {
+		return nil, err
+	}
+	aspHet, err := runASP(s.prophet(), hetero, true)
+	if err != nil {
+		return nil, err
+	}
+	aspFIFO, err := runASP(s.fifo(), linkMbps(2000), true)
+	if err != nil {
+		return nil, err
+	}
+	aspProphet, err := runASP(s.prophet(), linkMbps(2000), true)
+	if err != nil {
+		return nil, err
+	}
+	return &ExtASPResult{
+		BSPHetero: bspHet, ASPHetero: aspHet,
+		ASPFIFO: aspFIFO, ASPProphet: aspProphet,
+	}, nil
+}
+
+// ExtHardwareResult covers future-work direction 2 (more GPU types): on
+// p3-class (V100) nodes the backward pass shrinks ~4×, so the same network
+// that was comfortable for M60 nodes becomes the bottleneck — and
+// scheduling matters at bandwidths where it previously did not.
+type ExtHardwareResult struct {
+	// Rates at 4.5 Gbps per worker, ResNet50 bs64.
+	M60FIFO, M60Prophet, V100FIFO, V100Prophet float64
+}
+
+// Name implements Result.
+func (r *ExtHardwareResult) Name() string { return "ext-hardware" }
+
+// Render implements Result.
+func (r *ExtHardwareResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — p3-class GPUs (paper future work 2), ResNet50 bs64 at 4.5 Gbps\n")
+	fmt.Fprintf(w, "  M60-class:  fifo %7.2f vs prophet %7.2f samples/s (%+.1f%%)\n",
+		r.M60FIFO, r.M60Prophet, pct(r.M60Prophet, r.M60FIFO))
+	fmt.Fprintf(w, "  V100-class: fifo %7.2f vs prophet %7.2f samples/s (%+.1f%%)\n",
+		r.V100FIFO, r.V100Prophet, pct(r.V100Prophet, r.V100FIFO))
+	fmt.Fprintf(w, "  faster compute raises the relative value of communication scheduling\n")
+}
+
+// ExtTransformerResult runs the schedulers on a BERT-base-like encoder —
+// a deliberate boundary probe. The 23M-parameter embedding table is tensor
+// 0: the highest-priority tensor is also ~20% of the model, and the next
+// forward pass cannot start until ALL of it has been pushed, aggregated,
+// and pulled. No ordering trick shortens that serial tail; what helps is
+// fine-grained partitioning that pipelines the giant tensor's push with
+// its own pull — P3's regime. Prophet's design (whole-tensor pulls in the
+// forward phase) was shaped by CNN tensor sizes and gains nothing here, a
+// limitation worth knowing.
+type ExtTransformerResult struct {
+	FIFO, P3Rate, BS, Prophet float64
+}
+
+// Name implements Result.
+func (r *ExtTransformerResult) Name() string { return "ext-transformer" }
+
+// Render implements Result.
+func (r *ExtTransformerResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — transformer-base (110M params, embedding-first), bs32 at 10 Gbps\n")
+	fmt.Fprintf(w, "  fifo %6.2f   p3 %6.2f   bytescheduler %6.2f   prophet %6.2f samples/s\n",
+		r.FIFO, r.P3Rate, r.BS, r.Prophet)
+	fmt.Fprintf(w, "  boundary result: when one tensor is ~20%% of the model AND first in\n")
+	fmt.Fprintf(w, "  priority, its serial push+pull tail dominates every iteration; P3's\n")
+	fmt.Fprintf(w, "  fine partitions pipeline that tail best, and Prophet's stepwise blocks\n")
+	fmt.Fprintf(w, "  buy nothing — the paper's design targets CNN-sized tensors\n")
+}
+
+// ExtTransformer runs the extension.
+func ExtTransformer(cfg Config) (*ExtTransformerResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.TransformerBase(), 32, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	link := linkMbps(10000)
+	fifo, err := s.rate(cfg, s.fifo(), link, 3)
+	if err != nil {
+		return nil, err
+	}
+	p3, err := s.rate(cfg, s.p3(), link, 3)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := s.rate(cfg, s.byteScheduler(), link, 3)
+	if err != nil {
+		return nil, err
+	}
+	pro, err := s.rate(cfg, s.prophet(), link, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &ExtTransformerResult{FIFO: fifo, P3Rate: p3, BS: bs, Prophet: pro}, nil
+}
+
+// ExtShapesResult asks how Prophet's benefit depends on the tensor-size
+// distribution of the architecture, using synthetic workloads: uniform
+// (transformer-block-like), tail-heavy (VGG-like fc giants at the back),
+// front-heavy (large embeddings up front), and alternating (conv/BN
+// pairs).
+type ExtShapesResult struct {
+	Shapes  []string
+	FIFO    []float64
+	Prophet []float64
+}
+
+// Name implements Result.
+func (r *ExtShapesResult) Name() string { return "ext-shapes" }
+
+// Render implements Result.
+func (r *ExtShapesResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Extension — synthetic tensor-size distributions (40 tensors, 25M params, 2 Gbps)\n")
+	for i, sh := range r.Shapes {
+		fmt.Fprintf(w, "  %-12s fifo %6.2f vs prophet %6.2f samples/s (%+.1f%%)\n",
+			sh, r.FIFO[i], r.Prophet[i], pct(r.Prophet[i], r.FIFO[i]))
+	}
+	fmt.Fprintf(w, "  Prophet's gain holds across shapes (double digits at this balance);\n")
+	fmt.Fprintf(w, "  it is largest when tensors are uniform — every block fits its window\n")
+	fmt.Fprintf(w, "  cleanly — and smallest for alternating big/tiny pairs, where bundling\n")
+	fmt.Fprintf(w, "  granularity is hardest to match to the release pattern\n")
+}
+
+// ExtShapes runs the extension.
+func ExtShapes(cfg Config) (*ExtShapesResult, error) {
+	cfg = cfg.withDefaults()
+	out := &ExtShapesResult{}
+	for _, shape := range []workload.Shape{workload.Uniform, workload.TailHeavy, workload.FrontHeavy, workload.Alternating} {
+		base, err := workload.Synthetic(shape, 40, 25_000_000, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s, err := prepareWithHardware(model.WithWireFactor(base, WireFactor), 64, cfg.Seed, model.M60Like())
+		if err != nil {
+			return nil, err
+		}
+		link := linkMbps(2000)
+		fifoRate, err := s.rate(cfg, s.fifo(), link, 3)
+		if err != nil {
+			return nil, err
+		}
+		proRate, err := s.rate(cfg, s.prophet(), link, 3)
+		if err != nil {
+			return nil, err
+		}
+		out.Shapes = append(out.Shapes, shape.String())
+		out.FIFO = append(out.FIFO, fifoRate)
+		out.Prophet = append(out.Prophet, proRate)
+	}
+	return out, nil
+}
+
+// ExtHardware runs the extension.
+func ExtHardware(cfg Config) (*ExtHardwareResult, error) {
+	cfg = cfg.withDefaults()
+	out := &ExtHardwareResult{}
+	for _, hw := range []struct {
+		name string
+		h    model.Hardware
+	}{{"m60", model.M60Like()}, {"v100", model.V100Like()}} {
+		// The stepwise pattern depends on compute speed: re-profile on
+		// each hardware profile, exactly as a real deployment would.
+		wire := model.WithWireFactor(model.ResNet50(), WireFactor)
+		s, err := prepareWithHardware(wire, 64, cfg.Seed, hw.h)
+		if err != nil {
+			return nil, err
+		}
+		link := linkMbps(4500)
+		fifoRate, err := s.rateHW(cfg, s.fifo(), link, 3, hw.h)
+		if err != nil {
+			return nil, err
+		}
+		proRate, err := s.rateHW(cfg, s.prophet(), link, 3, hw.h)
+		if err != nil {
+			return nil, err
+		}
+		if hw.name == "m60" {
+			out.M60FIFO, out.M60Prophet = fifoRate, proRate
+		} else {
+			out.V100FIFO, out.V100Prophet = fifoRate, proRate
+		}
+	}
+	return out, nil
+}

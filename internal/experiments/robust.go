@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/profiler"
+	"prophet/internal/stepwise"
+)
+
+// Fig12Result reproduces the scalability experiment: per-worker training
+// rate stays nearly flat from 2 to 8 workers, showing Algorithm 1 adds no
+// per-worker coordination cost (paper: 69.94 → 68.83 samples/s/worker).
+type Fig12Result struct {
+	Workers       []int
+	PerWorkerRate []float64
+	ClusterRate   []float64
+}
+
+// Name implements Result.
+func (r *Fig12Result) Name() string { return "fig12" }
+
+// Render implements Result.
+func (r *Fig12Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 12 — Prophet scalability (ResNet50 bs64, per-worker 4.5 Gbps)\n")
+	for i, n := range r.Workers {
+		fmt.Fprintf(w, "  %d workers: %6.2f samples/s/worker  (%7.2f aggregate)\n",
+			n, r.PerWorkerRate[i], r.ClusterRate[i])
+	}
+	fmt.Fprintf(w, "  paper: per-worker rate 69.94 → 68.83 from 2 to 8 workers (near-linear)\n")
+}
+
+// Fig12 runs the experiment.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{2, 4, 6, 8}
+	if cfg.Quick {
+		counts = []int{2, 4}
+	}
+	out := &Fig12Result{}
+	for _, n := range counts {
+		res, err := s.run(cfg, s.prophet(), linkMbps(4500), n)
+		if err != nil {
+			return nil, err
+		}
+		out.Workers = append(out.Workers, n)
+		out.PerWorkerRate = append(out.PerWorkerRate, res.Rate(cfg.Warmup))
+		out.ClusterRate = append(out.ClusterRate, res.ClusterRate(cfg.Warmup))
+	}
+	return out, nil
+}
+
+// Fig13Result reproduces the profiling-overhead view: during the profiling
+// window Prophet runs unoptimized (FIFO-equivalent), so its early GPU
+// utilization trails ByteScheduler's; once the plan is in place it
+// overtakes.
+type Fig13Result struct {
+	// ProphetTimeline includes the profiling prefix; BSTimeline is the
+	// same wall-clock span under ByteScheduler.
+	ProphetTimeline, BSTimeline []float64
+	// ProfilingSeconds is where the profiling window ends.
+	ProfilingSeconds float64
+	// EarlyProphet/EarlyBS and LateProphet/LateBS are average utilizations
+	// inside and after the profiling window.
+	EarlyProphet, EarlyBS, LateProphet, LateBS float64
+}
+
+// Name implements Result.
+func (r *Fig13Result) Name() string { return "fig13" }
+
+// Render implements Result.
+func (r *Fig13Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 13 — GPU utilization around the profiling window (ResNet50 bs64)\n")
+	fmt.Fprintf(w, "  prophet  %s\n", sparkline(r.ProphetTimeline, 0, 1))
+	fmt.Fprintf(w, "  bytesch  %s\n", sparkline(r.BSTimeline, 0, 1))
+	fmt.Fprintf(w, "  profiling ends at %.1f s\n", r.ProfilingSeconds)
+	fmt.Fprintf(w, "  early window: prophet %.1f%% vs bytescheduler %.1f%%\n", 100*r.EarlyProphet, 100*r.EarlyBS)
+	fmt.Fprintf(w, "  steady state: prophet %.1f%% vs bytescheduler %.1f%%\n", 100*r.LateProphet, 100*r.LateBS)
+	fmt.Fprintf(w, "  paper: Prophet slightly lower during the first seconds, then higher\n")
+}
+
+// Fig13 runs the experiment. The profiling window is modeled by running
+// the first profileIters iterations under FIFO (the framework's default
+// while Prophet is still collecting c(i)), then switching to Prophet.
+func Fig13(cfg Config) (*Fig13Result, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	const workers = 3
+	link := sharedPSLink(workers)
+	profileIters := 4
+	if cfg.Iterations <= profileIters+2 {
+		cfg.Iterations = profileIters + 6
+	}
+
+	// Prophet run: FIFO prefix (profiling) then Prophet steady state. The
+	// cluster API runs one strategy per run, so emulate the switch by
+	// running the prefix and suffix separately and concatenating
+	// timelines.
+	pre, err := s.run(Config{Iterations: profileIters, Warmup: 1, Seed: cfg.Seed, Quick: cfg.Quick}, s.fifo(), link, workers)
+	if err != nil {
+		return nil, err
+	}
+	post, err := s.run(cfg, s.prophet(), link, workers)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := s.run(cfg, s.byteScheduler(), link, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	const bin = 0.1
+	preTL := pre.GPU[0].Timeline(0, pre.Duration, bin)
+	postTL := post.GPU[0].Timeline(post.Iters.Starts[1], post.Duration, bin)
+	prophetTL := append(preTL, postTL...)
+	bsTL := bs.GPU[0].Timeline(0, bs.Duration, bin)
+
+	early := pre.GPU[0].Utilization(0, pre.Duration)
+	late := post.GPUUtil(0, cfg.Warmup)
+	earlyBS := bs.GPU[0].Utilization(0, pre.Duration)
+	lateBS := bs.GPUUtil(0, cfg.Warmup)
+	return &Fig13Result{
+		ProphetTimeline:  prophetTL,
+		BSTimeline:       bsTL,
+		ProfilingSeconds: pre.Duration,
+		EarlyProphet:     early,
+		EarlyBS:          earlyBS,
+		LateProphet:      late,
+		LateBS:           lateBS,
+	}, nil
+}
+
+// Sec53BandwidthResult reproduces the ResNet18 bandwidth observation:
+// at 3 Gbps the strategies separate (paper: MXNet 110, P3 137, Prophet 153
+// samples/s); at 10 Gbps they all converge near 220.
+type Sec53BandwidthResult struct {
+	LimitsMbps            []float64
+	FIFO, P3Rate, Prophet []float64
+}
+
+// Name implements Result.
+func (r *Sec53BandwidthResult) Name() string { return "sec53-bandwidth" }
+
+// Render implements Result.
+func (r *Sec53BandwidthResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Sec. 5.3 — ResNet18 bs64 rate under bandwidth limits\n")
+	fmt.Fprintf(w, "  %-8s %8s %8s %8s\n", "Mbps", "mxnet", "p3", "prophet")
+	for i := range r.LimitsMbps {
+		fmt.Fprintf(w, "  %-8.0f %8.2f %8.2f %8.2f\n", r.LimitsMbps[i], r.FIFO[i], r.P3Rate[i], r.Prophet[i])
+	}
+	fmt.Fprintf(w, "  paper: 110 / 137 / 153 at 3 Gbps; all ≈220 at 10 Gbps\n")
+}
+
+// Sec53Bandwidth runs the experiment.
+func Sec53Bandwidth(cfg Config) (*Sec53BandwidthResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet18(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	limits := []float64{3000, 10000}
+	out := &Sec53BandwidthResult{LimitsMbps: limits}
+	for _, mbps := range limits {
+		link := linkMbps(mbps)
+		fifo, err := s.rate(cfg, s.fifo(), link, 3)
+		if err != nil {
+			return nil, err
+		}
+		p3, err := s.rate(cfg, s.p3(), link, 3)
+		if err != nil {
+			return nil, err
+		}
+		pro, err := s.rate(cfg, s.prophet(), link, 3)
+		if err != nil {
+			return nil, err
+		}
+		out.FIFO = append(out.FIFO, fifo)
+		out.P3Rate = append(out.P3Rate, p3)
+		out.Prophet = append(out.Prophet, pro)
+	}
+	return out, nil
+}
+
+// Sec53HeteroResult reproduces the heterogeneous-cluster experiment: one
+// worker limited to 500 Mbps binds everyone under BSP (paper: Prophet 26.4,
+// ByteScheduler 25.8, MXNet 15.09 samples/s).
+type Sec53HeteroResult struct {
+	FIFO, BS, Prophet float64
+}
+
+// Name implements Result.
+func (r *Sec53HeteroResult) Name() string { return "sec53-hetero" }
+
+// Render implements Result.
+func (r *Sec53HeteroResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Sec. 5.3 — heterogeneous cluster (one worker at 500 Mbps), ResNet50 bs64\n")
+	fmt.Fprintf(w, "  mxnet %6.2f   bytescheduler %6.2f   prophet %6.2f samples/s\n", r.FIFO, r.BS, r.Prophet)
+	fmt.Fprintf(w, "  paper: 15.09 / 25.8 / 26.4 — both schedulers beat MXNet; Prophet edges BS\n")
+}
+
+// Sec53Hetero runs the experiment.
+func Sec53Hetero(cfg Config) (*Sec53HeteroResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hetero := func(w int) netsim.LinkConfig {
+		mbps := 3000.0
+		if w == 1 {
+			mbps = 500
+		}
+		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(mbps))))
+	}
+	fifo, err := s.rate(cfg, s.fifo(), hetero, 3)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := s.rate(cfg, s.byteScheduler(), hetero, 3)
+	if err != nil {
+		return nil, err
+	}
+	pro, err := s.rate(cfg, s.prophet(), hetero, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &Sec53HeteroResult{FIFO: fifo, BS: bs, Prophet: pro}, nil
+}
+
+// Sec54ProfilingResult reproduces the profiling-overhead accounting: wall
+// time of the 50-iteration profiling run per model (paper: Inception-v3
+// bs32 7 s, ResNet50 bs64 9.5 s, ResNet152 bs32 24.7 s).
+type Sec54ProfilingResult struct {
+	Models    []string
+	Batches   []int
+	WallTimeS []float64
+	PaperS    []float64
+}
+
+// Name implements Result.
+func (r *Sec54ProfilingResult) Name() string { return "sec54-profiling" }
+
+// Render implements Result.
+func (r *Sec54ProfilingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Sec. 5.4 — profiling overhead (50 iterations of compute)\n")
+	for i := range r.Models {
+		fmt.Fprintf(w, "  %-14s bs%-3d  measured %6.1f s   paper %5.1f s\n",
+			r.Models[i], r.Batches[i], r.WallTimeS[i], r.PaperS[i])
+	}
+	fmt.Fprintf(w, "  shape: ResNet152 most expensive, well under a minute in all cases\n")
+}
+
+// Sec54Profiling runs the experiment.
+func Sec54Profiling(cfg Config) (*Sec54ProfilingResult, error) {
+	cfg = cfg.withDefaults()
+	jobs := []struct {
+		base   *model.Model
+		batch  int
+		paperS float64
+	}{
+		{model.InceptionV3(), 32, 7},
+		{model.ResNet50(), 64, 9.5},
+		{model.ResNet152(), 32, 24.7},
+	}
+	out := &Sec54ProfilingResult{}
+	for _, j := range jobs {
+		wire := model.WithWireFactor(j.base, WireFactor)
+		agg := stepwise.Aggregate(wire, wire.TotalBytes()/13, 0)
+		res, err := profiler.Run(profiler.Config{
+			Model: wire, Batch: j.batch, Agg: agg, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Models = append(out.Models, j.base.Name)
+		out.Batches = append(out.Batches, j.batch)
+		out.WallTimeS = append(out.WallTimeS, res.WallTime)
+		out.PaperS = append(out.PaperS, j.paperS)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCustomModelBasics(t *testing.T) {
+	m, err := Custom("mynet", []int64{100, 200, 300}, []float64{1e6, 2e6, 3e6}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGradients() != 3 || m.TotalParams() != 600 {
+		t.Fatalf("gradients=%d params=%d", m.NumGradients(), m.TotalParams())
+	}
+	if m.Efficiency != 0.4 {
+		t.Fatalf("efficiency = %v", m.Efficiency)
+	}
+	for i, g := range m.Grads {
+		if g.Index != i || g.BwdFLOPs != 2*g.FwdFLOPs {
+			t.Fatalf("gradient %d malformed: %+v", i, g)
+		}
+	}
+}
+
+func TestCustomDefaultEfficiency(t *testing.T) {
+	m, err := Custom("x", []int64{1}, []float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Efficiency != 0.5 {
+		t.Fatalf("default efficiency = %v", m.Efficiency)
+	}
+}
+
+func TestCustomRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		sizes []int64
+		flops []float64
+	}{
+		{nil, nil},
+		{[]int64{1}, []float64{1, 2}},
+		{[]int64{0}, []float64{1}},
+		{[]int64{1}, []float64{-1}},
+	}
+	for i, c := range cases {
+		if _, err := Custom("bad", c.sizes, c.flops, 1); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCustomLayerNames(t *testing.T) {
+	m, _ := Custom("net", []int64{1, 2}, []float64{0, 0}, 1)
+	if !strings.HasPrefix(m.Grads[0].Layer, "net.t0") {
+		t.Fatalf("layer name %q", m.Grads[0].Layer)
+	}
+}
+
+func TestV100FasterThanM60(t *testing.T) {
+	m := ResNet50()
+	if m.IterComputeTime(V100Like(), 64) >= m.IterComputeTime(M60Like(), 64) {
+		t.Fatal("V100 profile should compute faster")
+	}
+}
+
+func TestWithWireFactorScalesBytesOnly(t *testing.T) {
+	base := ResNet18()
+	wire := WithWireFactor(base, 2)
+	if wire.TotalBytes() != 2*base.TotalBytes() {
+		t.Fatal("bytes not doubled")
+	}
+	if wire.TotalFwdFLOPs() != base.TotalFwdFLOPs() {
+		t.Fatal("FLOPs should be unchanged")
+	}
+	if wire.IterComputeTime(M60Like(), 32) != base.IterComputeTime(M60Like(), 32) {
+		t.Fatal("compute time should be unchanged")
+	}
+	// Original untouched.
+	if base.Grads[0].Elems*2 != wire.Grads[0].Elems {
+		t.Fatal("per-tensor scaling wrong")
+	}
+}
+
+func TestWithWireFactorBadKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	WithWireFactor(ResNet18(), 0)
+}

@@ -1,0 +1,116 @@
+package model
+
+import "fmt"
+
+// Inception-v3 (Szegedy et al., 2016), torchvision layout without the
+// auxiliary classifier: a convolutional stem, three 35×35 InceptionA
+// modules, a grid-reduction InceptionB, four 17×17 InceptionC modules, a
+// grid-reduction InceptionD, two 8×8 InceptionE modules, and a 1000-way
+// classifier — 23.8M parameters across 284 gradient tensors. Branches
+// within a module run in parallel in the dataflow sense but their gradient
+// tensors are still pushed individually, so for communication scheduling
+// the module is a flat run of tensors.
+
+// convBN appends a convolution (kh×kw, no bias) plus batch norm, with FLOPs
+// computed from an explicit output feature-map size — branch convolutions
+// do not advance the builder's linear spatial tracking.
+func convBN(b *builder, name string, kh, kw, inC, outC, outH, outW int) {
+	elems := int64(kh) * int64(kw) * int64(inC) * int64(outC)
+	flops := 2 * float64(elems) * float64(outH) * float64(outW)
+	b.add(name+".weight", elems, flops)
+	b.add(name+".bn.gamma", int64(outC), 2*float64(outC)*float64(outH)*float64(outW))
+	b.add(name+".bn.beta", int64(outC), 0)
+}
+
+// inceptionA: 35×35 module. Branches: 1×1(64); 1×1(48)→5×5(64);
+// 1×1(64)→3×3(96)→3×3(96); pool→1×1(pool). Output 224+pool channels.
+func inceptionA(b *builder, name string, inC, poolC int) int {
+	const s = 35
+	convBN(b, name+".b1x1", 1, 1, inC, 64, s, s)
+	convBN(b, name+".b5x5_1", 1, 1, inC, 48, s, s)
+	convBN(b, name+".b5x5_2", 5, 5, 48, 64, s, s)
+	convBN(b, name+".b3x3dbl_1", 1, 1, inC, 64, s, s)
+	convBN(b, name+".b3x3dbl_2", 3, 3, 64, 96, s, s)
+	convBN(b, name+".b3x3dbl_3", 3, 3, 96, 96, s, s)
+	convBN(b, name+".bpool", 1, 1, inC, poolC, s, s)
+	return 64 + 64 + 96 + poolC
+}
+
+// inceptionB: grid reduction 35→17. Branches: 3×3/2(384);
+// 1×1(64)→3×3(96)→3×3/2(96); max-pool. Output inC+480 channels.
+func inceptionB(b *builder, name string, inC int) int {
+	convBN(b, name+".b3x3", 3, 3, inC, 384, 17, 17)
+	convBN(b, name+".b3x3dbl_1", 1, 1, inC, 64, 35, 35)
+	convBN(b, name+".b3x3dbl_2", 3, 3, 64, 96, 35, 35)
+	convBN(b, name+".b3x3dbl_3", 3, 3, 96, 96, 17, 17)
+	return 384 + 96 + inC
+}
+
+// inceptionC: 17×17 module with factorized 7×7 convs of width c7.
+func inceptionC(b *builder, name string, inC, c7 int) int {
+	const s = 17
+	convBN(b, name+".b1x1", 1, 1, inC, 192, s, s)
+	convBN(b, name+".b7x7_1", 1, 1, inC, c7, s, s)
+	convBN(b, name+".b7x7_2", 1, 7, c7, c7, s, s)
+	convBN(b, name+".b7x7_3", 7, 1, c7, 192, s, s)
+	convBN(b, name+".b7x7dbl_1", 1, 1, inC, c7, s, s)
+	convBN(b, name+".b7x7dbl_2", 7, 1, c7, c7, s, s)
+	convBN(b, name+".b7x7dbl_3", 1, 7, c7, c7, s, s)
+	convBN(b, name+".b7x7dbl_4", 7, 1, c7, c7, s, s)
+	convBN(b, name+".b7x7dbl_5", 1, 7, c7, 192, s, s)
+	convBN(b, name+".bpool", 1, 1, inC, 192, s, s)
+	return 4 * 192
+}
+
+// inceptionD: grid reduction 17→8. Output inC+512 channels.
+func inceptionD(b *builder, name string, inC int) int {
+	convBN(b, name+".b3x3_1", 1, 1, inC, 192, 17, 17)
+	convBN(b, name+".b3x3_2", 3, 3, 192, 320, 8, 8)
+	convBN(b, name+".b7x7x3_1", 1, 1, inC, 192, 17, 17)
+	convBN(b, name+".b7x7x3_2", 1, 7, 192, 192, 17, 17)
+	convBN(b, name+".b7x7x3_3", 7, 1, 192, 192, 17, 17)
+	convBN(b, name+".b7x7x3_4", 3, 3, 192, 192, 8, 8)
+	return 320 + 192 + inC
+}
+
+// inceptionE: 8×8 module with split 3×3 branches. Output 2048 channels.
+func inceptionE(b *builder, name string, inC int) int {
+	const s = 8
+	convBN(b, name+".b1x1", 1, 1, inC, 320, s, s)
+	convBN(b, name+".b3x3_1", 1, 1, inC, 384, s, s)
+	convBN(b, name+".b3x3_2a", 1, 3, 384, 384, s, s)
+	convBN(b, name+".b3x3_2b", 3, 1, 384, 384, s, s)
+	convBN(b, name+".b3x3dbl_1", 1, 1, inC, 448, s, s)
+	convBN(b, name+".b3x3dbl_2", 3, 3, 448, 384, s, s)
+	convBN(b, name+".b3x3dbl_3a", 1, 3, 384, 384, s, s)
+	convBN(b, name+".b3x3dbl_3b", 3, 1, 384, 384, s, s)
+	convBN(b, name+".bpool", 1, 1, inC, 192, s, s)
+	return 320 + 768 + 768 + 192
+}
+
+// InceptionV3 returns Inception-v3 without the auxiliary classifier.
+func InceptionV3() *Model {
+	b := newBuilder("inception-v3", 299, 299, 3)
+	// Stem (valid-padding arithmetic pinned to the real network).
+	convBN(b, "Conv2d_1a_3x3", 3, 3, 3, 32, 149, 149)
+	convBN(b, "Conv2d_2a_3x3", 3, 3, 32, 32, 147, 147)
+	convBN(b, "Conv2d_2b_3x3", 3, 3, 32, 64, 147, 147)
+	// max pool → 73
+	convBN(b, "Conv2d_3b_1x1", 1, 1, 64, 80, 73, 73)
+	convBN(b, "Conv2d_4a_3x3", 3, 3, 80, 192, 71, 71)
+	// max pool → 35
+	c := 192
+	c = inceptionA(b, "Mixed_5b", c, 32)
+	c = inceptionA(b, "Mixed_5c", c, 64)
+	c = inceptionA(b, "Mixed_5d", c, 64)
+	c = inceptionB(b, "Mixed_6a", c)
+	for i, c7 := range []int{128, 160, 160, 192} {
+		c = inceptionC(b, fmt.Sprintf("Mixed_6%c", 'b'+i), c, c7)
+	}
+	c = inceptionD(b, "Mixed_7a", c)
+	c = inceptionE(b, "Mixed_7b", c)
+	c = inceptionE(b, "Mixed_7c", c)
+	b.c, b.h, b.w = c, 1, 1 // global average pool
+	b.fc("fc", 1000)
+	return b.build(0.40)
+}

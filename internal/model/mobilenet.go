@@ -1,0 +1,56 @@
+package model
+
+import "fmt"
+
+// MobileNetV2 (Sandler et al., 2018): inverted residual blocks with
+// depthwise separable convolutions — ~3.5M parameters across 158 tensors.
+// Its communication profile is the opposite extreme from VGG19: many small
+// tensors, so per-message overhead dominates and block assembly pays off
+// even at modest bandwidths.
+func MobileNetV2() *Model {
+	b := newBuilder("mobilenet-v2", 224, 224, 3)
+	b.conv("conv0", 3, 2, 32)
+	b.bn("bn0")
+
+	// Inverted residual: expand 1×1, depthwise 3×3, project 1×1.
+	block := 0
+	inverted := func(expand, outC, stride int) {
+		inC := b.c
+		name := fmt.Sprintf("block%d", block)
+		block++
+		mid := inC * expand
+		if expand != 1 {
+			b.conv(name+".expand", 1, 1, mid)
+			b.bn(name + ".expand_bn")
+		}
+		// Depthwise 3×3: one 3×3 filter per channel.
+		outH := (b.h + stride - 1) / stride
+		outW := (b.w + stride - 1) / stride
+		dwElems := int64(9 * mid)
+		b.add(name+".dw.weight", dwElems, 2*float64(dwElems)*float64(outH)*float64(outW))
+		b.h, b.w = outH, outW
+		b.bn(name + ".dw_bn")
+		b.conv(name+".project", 1, 1, outC)
+		b.bn(name + ".project_bn")
+	}
+
+	// (expansion, out channels, repeats, first stride) per the paper.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			inverted(c.t, c.c, stride)
+		}
+	}
+	b.conv("conv_last", 1, 1, 1280)
+	b.bn("bn_last")
+	b.globalPool()
+	b.fc("classifier", 1000)
+	return b.build(0.40)
+}

@@ -1,0 +1,240 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Published parameter counts (torchvision). Our builders follow the same
+// layer shapes, so counts must match within a small tolerance (AlexNet and
+// Inception have minor framework-dependent variants).
+func TestParameterCountsMatchPublished(t *testing.T) {
+	cases := []struct {
+		name      string
+		want      int64
+		tolerance float64
+	}{
+		{"resnet18", 11_689_512, 0.002},
+		{"resnet50", 25_557_032, 0.002},
+		{"resnet152", 60_192_808, 0.002},
+		{"vgg19", 143_667_240, 0.002},
+		{"alexnet", 61_100_840, 0.002},
+		{"inception-v3", 23_834_568, 0.02},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.TotalParams()
+		rel := math.Abs(float64(got-c.want)) / float64(c.want)
+		if rel > c.tolerance {
+			t.Errorf("%s: params = %d, want %d (±%.1f%%), off by %.2f%%",
+				c.name, got, c.want, c.tolerance*100, rel*100)
+		}
+	}
+}
+
+// Published per-sample forward FLOPs (multiply-accumulate counted as 2).
+func TestForwardFLOPsReasonable(t *testing.T) {
+	cases := []struct {
+		name string
+		want float64 // GFLOPs
+	}{
+		{"resnet18", 3.6},
+		{"resnet50", 8.2},
+		{"resnet152", 23.1},
+		{"vgg19", 39.0},
+		{"inception-v3", 11.4},
+		{"alexnet", 1.4},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.TotalFwdFLOPs() / 1e9
+		if got < c.want*0.7 || got > c.want*1.3 {
+			t.Errorf("%s: fwd GFLOPs = %.2f, want ~%.1f (±30%%)", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGradientCountResNet50(t *testing.T) {
+	m := ResNet50()
+	// conv1+bn1 (3) + 16 bottlenecks × 9 + 4 projections × 3 + fc (2) = 161.
+	if got := m.NumGradients(); got != 161 {
+		t.Fatalf("resnet50 gradients = %d, want 161", got)
+	}
+}
+
+func TestGradientCountVGG19(t *testing.T) {
+	// 16 convs × 2 + 3 FCs × 2 = 38; matches the paper's Sec. 2.2 which
+	// groups VGG19's gradients 0–37 into four blocks.
+	if got := VGG19().NumGradients(); got != 38 {
+		t.Fatalf("vgg19 gradients = %d, want 38", got)
+	}
+}
+
+func TestGradientCountResNet152(t *testing.T) {
+	// conv1+bn1 (3) + 50 bottlenecks × 9 + 4 projections × 3 + fc (2) = 467.
+	if got := ResNet152().NumGradients(); got != 467 {
+		t.Fatalf("resnet152 gradients = %d, want 467", got)
+	}
+}
+
+func TestGradientCountAlexNet(t *testing.T) {
+	if got := AlexNet().NumGradients(); got != 16 {
+		t.Fatalf("alexnet gradients = %d, want 16", got)
+	}
+}
+
+func TestIndicesAreContiguous(t *testing.T) {
+	for _, m := range All() {
+		for i, g := range m.Grads {
+			if g.Index != i {
+				t.Fatalf("%s: gradient %d has index %d", m.Name, i, g.Index)
+			}
+		}
+	}
+}
+
+func TestGradZeroIsFirstLayer(t *testing.T) {
+	for _, m := range All() {
+		first := m.Grads[0].Layer
+		if strings.Contains(first, "fc") {
+			t.Fatalf("%s: gradient 0 is %q, should be the input-side layer", m.Name, first)
+		}
+	}
+}
+
+func TestBwdIsTwiceFwd(t *testing.T) {
+	for _, m := range All() {
+		for _, g := range m.Grads {
+			if g.BwdFLOPs != 2*g.FwdFLOPs {
+				t.Fatalf("%s %s: bwd=%v fwd=%v", m.Name, g.Layer, g.BwdFLOPs, g.FwdFLOPs)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("resnet9000")
+	if err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if !strings.Contains(err.Error(), "resnet50") {
+		t.Fatalf("error should list known names: %v", err)
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("got %d names, want 9", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestAllReturnsEveryModel(t *testing.T) {
+	ms := All()
+	if len(ms) != len(Names()) {
+		t.Fatalf("All returned %d models, want %d", len(ms), len(Names()))
+	}
+	for _, m := range ms {
+		if m.TotalParams() <= 0 {
+			t.Fatalf("%s has no params", m.Name)
+		}
+	}
+}
+
+func TestTotalBytesIsFourPerParam(t *testing.T) {
+	m := ResNet18()
+	if m.TotalBytes() != 4*float64(m.TotalParams()) {
+		t.Fatal("TotalBytes should be 4 bytes per param")
+	}
+}
+
+func TestFwdTimeScalesWithBatch(t *testing.T) {
+	m := ResNet50()
+	hw := M60Like()
+	g := m.Grads[0]
+	t16 := m.FwdTime(hw, g, 16)
+	t64 := m.FwdTime(hw, g, 64)
+	if t64 <= t16 {
+		t.Fatal("fwd time should grow with batch size")
+	}
+	// Compute part scales 4x; overhead is fixed.
+	want := (t16-hw.LayerOverhead)*4 + hw.LayerOverhead
+	if math.Abs(t64-want) > 1e-12 {
+		t.Fatalf("t64 = %v, want %v", t64, want)
+	}
+}
+
+func TestIterComputeTimeIsSumOfSegments(t *testing.T) {
+	m := ResNet18()
+	hw := M60Like()
+	var sum float64
+	for _, g := range m.Grads {
+		sum += m.FwdTime(hw, g, 32) + m.BwdTime(hw, g, 32)
+	}
+	if math.Abs(m.IterComputeTime(hw, 32)-sum) > 1e-9 {
+		t.Fatal("IterComputeTime mismatch")
+	}
+}
+
+func TestModelsAreIndependentInstances(t *testing.T) {
+	a := ResNet18()
+	b := ResNet18()
+	a.Grads[0].Elems = 1
+	if b.Grads[0].Elems == 1 {
+		t.Fatal("models share gradient slices")
+	}
+}
+
+func TestValidateCatchesBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m := &Model{Name: "bad", Grads: []Gradient{{Index: 5, Elems: 1}}, Efficiency: 1}
+	m.validate()
+}
+
+func TestValidateCatchesZeroEfficiency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m := &Model{Name: "bad", Grads: []Gradient{{Index: 0, Elems: 1}}}
+	m.validate()
+}
+
+// Property: for any model and batch, compute times are positive and iteration
+// compute grows monotonically with batch size.
+func TestPropertyComputeMonotoneInBatch(t *testing.T) {
+	hw := M60Like()
+	models := All()
+	f := func(mIdx uint8, b1Raw, b2Raw uint8) bool {
+		m := models[int(mIdx)%len(models)]
+		b1 := int(b1Raw%64) + 1
+		b2 := int(b2Raw%64) + 1
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		t1 := m.IterComputeTime(hw, b1)
+		t2 := m.IterComputeTime(hw, b2)
+		return t1 > 0 && t2 >= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

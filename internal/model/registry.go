@@ -1,0 +1,54 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builders maps model names to constructors. Models are built on demand;
+// construction is cheap (metadata only).
+var builders = map[string]func() *Model{
+	"resnet18":          ResNet18,
+	"resnet50":          ResNet50,
+	"resnet152":         ResNet152,
+	"inception-v3":      InceptionV3,
+	"vgg19":             VGG19,
+	"alexnet":           AlexNet,
+	"mobilenet-v2":      MobileNetV2,
+	"transformer-base":  TransformerBase,
+	"transformer-small": TransformerSmall,
+}
+
+// ByName constructs the named model. It returns an error listing the known
+// names when the name is unknown.
+func ByName(name string) (*Model, error) {
+	fn, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown model %q (known: %v)", name, Names())
+	}
+	return fn(), nil
+}
+
+// Names returns the sorted list of known model names.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All constructs every model in the registry, sorted by name.
+func All() []*Model {
+	names := Names()
+	ms := make([]*Model, len(names))
+	for i, n := range names {
+		m, err := ByName(n)
+		if err != nil {
+			panic(err) // unreachable: names come from the registry
+		}
+		ms[i] = m
+	}
+	return ms
+}

@@ -1,0 +1,87 @@
+package model
+
+import "fmt"
+
+// The ResNet family (He et al., 2016), in the torchvision layout: a 7×7
+// stem, four stages of residual blocks, and a 1000-way classifier. ResNet18
+// uses basic blocks (two 3×3 convs); ResNet50/152 use bottleneck blocks
+// (1×1 reduce, 3×3, 1×1 expand ×4). Every convolution is bias-free and
+// followed by batch normalization, so each conv contributes one gradient
+// tensor and each BN two.
+
+// basicBlock appends a 2-conv residual block. stride applies to the first
+// conv; a projection shortcut (1×1 conv + BN) is added when the shape
+// changes, operating on the block's input.
+func basicBlock(b *builder, name string, outC, stride int) {
+	inC := b.c
+	b.conv(name+".conv1", 3, stride, outC)
+	b.bn(name + ".bn1")
+	b.conv(name+".conv2", 3, 1, outC)
+	b.bn(name + ".bn2")
+	if stride != 1 || inC != outC {
+		projectionShortcut(b, name, inC, outC)
+	}
+}
+
+// bottleneckBlock appends a 1×1/3×3/1×1 residual block with expansion 4.
+// Following torchvision, the stride is applied at the 3×3 conv.
+func bottleneckBlock(b *builder, name string, width, stride int) {
+	inC := b.c
+	outC := 4 * width
+	b.conv(name+".conv1", 1, 1, width)
+	b.bn(name + ".bn1")
+	b.conv(name+".conv2", 3, stride, width)
+	b.bn(name + ".bn2")
+	b.conv(name+".conv3", 1, 1, outC)
+	b.bn(name + ".bn3")
+	if stride != 1 || inC != outC {
+		projectionShortcut(b, name, inC, outC)
+	}
+}
+
+// projectionShortcut adds the 1×1 downsample conv + BN. The builder's
+// spatial size has already been advanced to the block's output, which is
+// also the projection's output size, so FLOPs use the current h×w.
+func projectionShortcut(b *builder, name string, inC, outC int) {
+	elems := int64(inC) * int64(outC)
+	flops := 2 * float64(elems) * float64(b.h) * float64(b.w)
+	b.add(name+".downsample.conv.weight", elems, flops)
+	b.add(name+".downsample.bn.gamma", int64(outC), 0)
+	b.add(name+".downsample.bn.beta", int64(outC), 0)
+}
+
+// resnet builds a ResNet with the given per-stage block counts.
+// bottleneck selects the block type.
+func resnet(name string, blocks [4]int, bottleneck bool, efficiency float64) *Model {
+	b := newBuilder(name, 224, 224, 3)
+	b.conv("conv1", 7, 2, 64)
+	b.bn("bn1")
+	b.pool(2) // 3×3 max pool, stride 2
+	widths := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for block := 0; block < blocks[stage]; block++ {
+			stride := 1
+			if block == 0 && stage > 0 {
+				stride = 2
+			}
+			bn := fmt.Sprintf("layer%d.%d", stage+1, block)
+			if bottleneck {
+				bottleneckBlock(b, bn, widths[stage], stride)
+			} else {
+				basicBlock(b, bn, widths[stage], stride)
+			}
+		}
+	}
+	b.globalPool()
+	b.fc("fc", 1000)
+	return b.build(efficiency)
+}
+
+// ResNet18 returns the 18-layer ResNet (11.7M parameters).
+func ResNet18() *Model { return resnet("resnet18", [4]int{2, 2, 2, 2}, false, 0.50) }
+
+// ResNet50 returns the 50-layer ResNet (25.6M parameters).
+func ResNet50() *Model { return resnet("resnet50", [4]int{3, 4, 6, 3}, true, 0.36) }
+
+// ResNet152 returns the 152-layer ResNet (60.2M parameters).
+func ResNet152() *Model { return resnet("resnet152", [4]int{3, 8, 36, 3}, true, 0.36) }

@@ -1,0 +1,71 @@
+package model
+
+import "fmt"
+
+// TransformerBase returns a BERT-base-like encoder (12 layers, hidden 768,
+// 12 heads, FFN 3072, vocab 30522): ~110M parameters across 201 gradient
+// tensors. Transformers stress communication scheduling differently from
+// CNNs: tensor sizes are uniform across layers except for the huge
+// embedding table at index 0 — the *highest-priority* tensor is also the
+// largest, the adversarial case for FIFO ordering.
+func TransformerBase() *Model {
+	return transformer("transformer-base", 12, 768, 3072, 30522, 512, 0.45)
+}
+
+// TransformerSmall returns a 6-layer, hidden-384 encoder (~22M parameters)
+// for quicker experiments.
+func TransformerSmall() *Model {
+	return transformer("transformer-small", 6, 384, 1536, 30522, 512, 0.45)
+}
+
+// transformer builds an encoder-only model. Per layer: Q, K, V, and output
+// projections (hidden×hidden + bias), two layer norms (2× hidden each), and
+// the two FFN projections (hidden×ffn and ffn×hidden, + biases). Tensor
+// order follows depth: embeddings first (index 0 — needed first by the
+// next forward pass), then layer 0's tensors, and so on; a pooler closes.
+func transformer(name string, layers, hidden, ffn, vocab, seqLen int, efficiency float64) *Model {
+	m := &Model{Name: name, Efficiency: efficiency}
+	add := func(layer string, elems int64, fwdFLOPs float64) {
+		if elems <= 0 {
+			panic(fmt.Sprintf("model: %s layer %s has %d elems", name, layer, elems))
+		}
+		m.Grads = append(m.Grads, Gradient{
+			Index:    len(m.Grads),
+			Layer:    layer,
+			Elems:    elems,
+			FwdFLOPs: fwdFLOPs,
+			BwdFLOPs: 2 * fwdFLOPs,
+		})
+	}
+	h := int64(hidden)
+	f := int64(ffn)
+	s := float64(seqLen)
+
+	// Embeddings: token + position, emitted as one fused table (frameworks
+	// treat the lookup as a single sparse-dense tensor). The lookup itself
+	// is cheap; attribute the add+norm cost.
+	add(name+".embeddings", int64(vocab)*h+int64(seqLen)*h, 4*s*float64(h))
+	add(name+".embeddings.norm", 2*h, 2*s*float64(h))
+
+	matmulFLOPs := func(rows, inner, cols float64) float64 { return 2 * rows * inner * cols }
+	for l := 0; l < layers; l++ {
+		p := fmt.Sprintf("%s.layer%d", name, l)
+		for _, proj := range []string{"q", "k", "v", "attn_out"} {
+			add(p+".attn."+proj+".weight", h*h, matmulFLOPs(s, float64(h), float64(h)))
+			add(p+".attn."+proj+".bias", h, 0)
+		}
+		// Attention score/context matmuls have no parameters; attribute
+		// their compute to the layer norm that follows.
+		add(p+".attn.norm", 2*h, 2*matmulFLOPs(s, float64(h), s))
+		add(p+".ffn.up.weight", h*f, matmulFLOPs(s, float64(h), float64(f)))
+		add(p+".ffn.up.bias", f, 0)
+		add(p+".ffn.down.weight", f*h, matmulFLOPs(s, float64(f), float64(h)))
+		add(p+".ffn.down.bias", h, 0)
+		add(p+".ffn.norm", 2*h, 2*s*float64(h))
+	}
+	add(name+".pooler.weight", h*h, matmulFLOPs(1, float64(h), float64(h)))
+	add(name+".pooler.bias", h, 0)
+
+	m.validate()
+	return m
+}

@@ -1,0 +1,50 @@
+package model
+
+import "fmt"
+
+// VGG19 (Simonyan & Zisserman, 2015): sixteen 3×3 convolutions with biases
+// and three fully connected layers — 38 gradient tensors, 143.7M
+// parameters. The paper's Sec. 2.2 observes VGG19's gradients grouping into
+// four stepwise blocks ({0–1}, {2–13}, {14–27}, {28–37}); the huge FC
+// tensors at indices 32–37 dominate communication.
+func VGG19() *Model {
+	b := newBuilder("vgg19", 224, 224, 3)
+	cfg := [][]int{{64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512}, {512, 512, 512, 512}}
+	n := 0
+	for _, stage := range cfg {
+		for _, out := range stage {
+			b.convBias(fmt.Sprintf("conv%d", n), 3, 1, out)
+			n++
+		}
+		b.pool(2)
+	}
+	// After five 2× pools, 224 → 7.
+	b.fc("fc6", 4096)
+	b.fc("fc7", 4096)
+	b.fc("fc8", 1000)
+	return b.build(0.50)
+}
+
+// AlexNet (Krizhevsky et al., 2012): five convolutions and three FC layers,
+// all with biases — 16 gradient tensors, 61.1M parameters (torchvision
+// single-tower variant). Spatial sizes are pinned to the real valid-padding
+// arithmetic so the FC input is 256×6×6.
+func AlexNet() *Model {
+	b := newBuilder("alexnet", 224, 224, 3)
+	b.convBias("conv1", 11, 4, 64)
+	b.setSpatial(55, 55)
+	b.pool(2)
+	b.setSpatial(27, 27)
+	b.convBias("conv2", 5, 1, 192)
+	b.pool(2)
+	b.setSpatial(13, 13)
+	b.convBias("conv3", 3, 1, 384)
+	b.convBias("conv4", 3, 1, 256)
+	b.convBias("conv5", 3, 1, 256)
+	b.pool(2)
+	b.setSpatial(6, 6)
+	b.fc("fc6", 4096)
+	b.fc("fc7", 4096)
+	b.fc("fc8", 1000)
+	return b.build(0.50)
+}

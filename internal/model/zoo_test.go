@@ -1,0 +1,81 @@
+package model
+
+import "testing"
+
+func TestTransformerBaseShape(t *testing.T) {
+	m := TransformerBase()
+	// BERT-base: ~110M parameters (we fuse token+position embeddings and
+	// omit the MLM head).
+	p := m.TotalParams()
+	if p < 100_000_000 || p > 120_000_000 {
+		t.Fatalf("transformer-base params = %d, want ~110M", p)
+	}
+	// Embedding table is tensor 0 and by far the largest.
+	if m.Grads[0].Elems < 20_000_000 {
+		t.Fatalf("embedding table too small: %d", m.Grads[0].Elems)
+	}
+	max := int64(0)
+	for _, g := range m.Grads[1:] {
+		if g.Elems > max {
+			max = g.Elems
+		}
+	}
+	if m.Grads[0].Elems < 5*max {
+		t.Fatal("embedding should dominate all other tensors")
+	}
+}
+
+func TestTransformerSmallSmaller(t *testing.T) {
+	if TransformerSmall().TotalParams() >= TransformerBase().TotalParams() {
+		t.Fatal("small transformer not smaller")
+	}
+}
+
+func TestTransformerLayerUniformity(t *testing.T) {
+	m := TransformerBase()
+	// 2 embedding tensors + 12 layers × 14 tensors + 2 pooler = 172.
+	if got := m.NumGradients(); got != 172 {
+		t.Fatalf("transformer-base tensors = %d, want 172", got)
+	}
+}
+
+func TestMobileNetV2Shape(t *testing.T) {
+	m := MobileNetV2()
+	p := m.TotalParams()
+	if p < 3_000_000 || p > 4_000_000 {
+		t.Fatalf("mobilenet-v2 params = %d, want ~3.5M", p)
+	}
+	if m.NumGradients() < 100 {
+		t.Fatalf("mobilenet-v2 tensors = %d, expected many small tensors", m.NumGradients())
+	}
+	// Median tensor is small (that is the point of this model).
+	var sizes []float64
+	for _, g := range m.Grads {
+		sizes = append(sizes, float64(g.Elems))
+	}
+	// Crude median.
+	n := 0
+	for _, s := range sizes {
+		if s <= 5000 {
+			n++
+		}
+	}
+	if n < len(sizes)/2 {
+		t.Fatalf("expected most tensors tiny; only %d/%d under 5k elems", n, len(sizes))
+	}
+}
+
+func TestRegistryIncludesNewModels(t *testing.T) {
+	for _, name := range []string{"mobilenet-v2", "transformer-base", "transformer-small"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != name {
+			t.Fatalf("name %q", m.Name)
+		}
+	}
+	if len(Names()) != 9 {
+		t.Fatalf("registry has %d models, want 9", len(Names()))
+	}
+}

@@ -1,0 +1,256 @@
+// Package nn implements a small but real multilayer perceptron — dense
+// layers, ReLU activations, softmax cross-entropy, SGD — on the tensor
+// kernels. It exists so the emulation path (internal/emu) can schedule the
+// communication of *actual* gradients computed by *actual* backward
+// propagation, and so convergence under every scheduler can be asserted
+// end to end.
+//
+// Parameter tensors follow the paper's indexing: tensor 0 is the first
+// layer's weights (highest transfer priority, produced last by backward
+// propagation, needed first by forward propagation).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"prophet/internal/sim"
+	"prophet/internal/tensor"
+)
+
+// Tensor identifies one parameter tensor of the network.
+type Tensor struct {
+	// Index is the transfer priority (0 = first layer's weights).
+	Index int
+	// Layer is the owning dense layer.
+	Layer int
+	// IsBias distinguishes the layer's bias from its weight matrix.
+	IsBias bool
+	// Elems is the parameter count.
+	Elems int
+}
+
+// dense is one fully connected layer: y = x·W + b.
+type dense struct {
+	in, out int
+	w       *tensor.Mat // in×out
+	b       tensor.Vec  // out
+
+	// forward cache (per batch)
+	input   *tensor.Mat
+	preAct  *tensor.Mat
+	mask    []bool // ReLU mask; nil for the output layer
+	gradW   *tensor.Mat
+	gradB   tensor.Vec
+	gradIn  *tensor.Mat
+	applyNL bool
+}
+
+// MLP is a feed-forward classifier.
+type MLP struct {
+	layers  []*dense
+	tensors []Tensor
+}
+
+// NewMLP builds a network with the given layer widths, e.g.
+// NewMLP([]int{20, 64, 64, 4}, seed) for 20 inputs, two hidden layers of
+// 64, and 4 classes. Weights are He-initialized from a deterministic seed.
+func NewMLP(sizes []int, seed uint64) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	rng := sim.NewRand(seed)
+	m := &MLP{}
+	for l := 0; l+1 < len(sizes); l++ {
+		d := &dense{
+			in:      sizes[l],
+			out:     sizes[l+1],
+			w:       tensor.NewMat(sizes[l], sizes[l+1]),
+			b:       tensor.NewVec(sizes[l+1]),
+			applyNL: l+2 < len(sizes), // ReLU on all but the output layer
+		}
+		d.w.FillRandn(rng, math.Sqrt2/math.Sqrt(float64(sizes[l])))
+		m.layers = append(m.layers, d)
+		m.tensors = append(m.tensors,
+			Tensor{Index: 2 * l, Layer: l, IsBias: false, Elems: sizes[l] * sizes[l+1]},
+			Tensor{Index: 2*l + 1, Layer: l, IsBias: true, Elems: sizes[l+1]},
+		)
+	}
+	return m
+}
+
+// Tensors lists the parameter tensors in priority order.
+func (m *MLP) Tensors() []Tensor { return m.tensors }
+
+// NumTensors returns the number of parameter tensors (2 per layer).
+func (m *MLP) NumTensors() int { return len(m.tensors) }
+
+// TotalParams returns the total parameter count.
+func (m *MLP) TotalParams() int {
+	n := 0
+	for _, t := range m.tensors {
+		n += t.Elems
+	}
+	return n
+}
+
+// ParamData returns the raw storage of tensor idx (a live view: writes
+// update the model).
+func (m *MLP) ParamData(idx int) tensor.Vec {
+	t := m.tensors[idx]
+	d := m.layers[t.Layer]
+	if t.IsBias {
+		return d.b
+	}
+	return d.w.Data
+}
+
+// GradData returns the raw storage of tensor idx's most recent gradient.
+// Valid after Backward.
+func (m *MLP) GradData(idx int) tensor.Vec {
+	t := m.tensors[idx]
+	d := m.layers[t.Layer]
+	if t.IsBias {
+		return d.gradB
+	}
+	return d.gradW.Data
+}
+
+// Forward computes logits for a batch (rows = samples).
+func (m *MLP) Forward(x *tensor.Mat) *tensor.Mat {
+	cur := x
+	for _, d := range m.layers {
+		if x.Cols != m.layers[0].in && cur == x {
+			panic(fmt.Sprintf("nn: input has %d features, model expects %d", x.Cols, m.layers[0].in))
+		}
+		d.input = cur
+		out := tensor.NewMat(cur.Rows, d.out)
+		tensor.MatMul(out, cur, d.w)
+		tensor.AddRowBias(out, d.b)
+		d.preAct = out
+		if d.applyNL {
+			d.mask = tensor.ReLU(out)
+		} else {
+			d.mask = nil
+		}
+		cur = out
+	}
+	return cur
+}
+
+// Backward computes the loss for labels and all parameter gradients,
+// invoking onTensor (if non-nil) for each tensor as its gradient becomes
+// available — in backward order, highest index first, exactly as a DNN
+// framework's communication layer sees them. It returns the mean loss.
+func (m *MLP) Backward(logits *tensor.Mat, labels []int, onTensor func(idx int)) float64 {
+	grad := tensor.NewMat(logits.Rows, logits.Cols)
+	loss := tensor.SoftmaxCrossEntropy(grad, logits, labels)
+	upstream := grad
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		d := m.layers[l]
+		if d.applyNL {
+			tensor.ReLUBackward(upstream, d.mask)
+		}
+		// dW = inputᵀ · upstream; db = column sums of upstream.
+		d.gradW = tensor.NewMat(d.in, d.out)
+		tensor.MatMulTransA(d.gradW, d.input, upstream)
+		d.gradB = tensor.NewVec(d.out)
+		for r := 0; r < upstream.Rows; r++ {
+			d.gradB.Add(upstream.Row(r))
+		}
+		// dInput = upstream · Wᵀ (skip for layer 0 — nothing consumes it).
+		if l > 0 {
+			d.gradIn = tensor.NewMat(upstream.Rows, d.in)
+			tensor.MatMulTransB(d.gradIn, upstream, d.w)
+		}
+		// Bias then weight, mirroring frameworks that emit auxiliary
+		// tensors with their layer: indices 2l+1 then 2l.
+		if onTensor != nil {
+			onTensor(2*l + 1)
+			onTensor(2 * l)
+		}
+		upstream = d.gradIn
+	}
+	return loss
+}
+
+// Step applies plain SGD: param -= lr * grad, for every tensor.
+func (m *MLP) Step(lr float64) {
+	for idx := range m.tensors {
+		m.ParamData(idx).AXPY(-lr, m.GradData(idx))
+	}
+}
+
+// SetGrad overwrites tensor idx's gradient storage (used when the PS
+// returns an aggregated gradient).
+func (m *MLP) SetGrad(idx int, g tensor.Vec) {
+	dst := m.GradData(idx)
+	if len(dst) != len(g) {
+		panic(fmt.Sprintf("nn: SetGrad tensor %d length %d != %d", idx, len(g), len(dst)))
+	}
+	copy(dst, g)
+}
+
+// Loss computes the mean loss for a batch without touching gradients.
+func (m *MLP) Loss(x *tensor.Mat, labels []int) float64 {
+	logits := m.Forward(x)
+	grad := tensor.NewMat(logits.Rows, logits.Cols)
+	return tensor.SoftmaxCrossEntropy(grad, logits, labels)
+}
+
+// Accuracy returns the fraction of samples whose argmax matches the label.
+func (m *MLP) Accuracy(x *tensor.Mat, labels []int) float64 {
+	logits := m.Forward(x)
+	correct := 0
+	for r := 0; r < logits.Rows; r++ {
+		row := logits.Row(r)
+		best := 0
+		for c, v := range row {
+			if v > row[best] {
+				best = c
+			}
+		}
+		if best == labels[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}
+
+// Dataset is a labeled classification set.
+type Dataset struct {
+	X      *tensor.Mat
+	Labels []int
+}
+
+// Blobs generates a synthetic Gaussian-blob classification dataset:
+// `classes` cluster centers in `features` dimensions, n samples.
+func Blobs(n, features, classes int, seed uint64) *Dataset {
+	rng := sim.NewRand(seed)
+	centers := tensor.NewMat(classes, features)
+	centers.FillRandn(rng, 3)
+	x := tensor.NewMat(n, features)
+	labels := make([]int, n)
+	for r := 0; r < n; r++ {
+		c := rng.Intn(classes)
+		labels[r] = c
+		row := x.Row(r)
+		center := centers.Row(c)
+		for i := range row {
+			row[i] = center[i] + rng.NormFloat64()
+		}
+	}
+	return &Dataset{X: x, Labels: labels}
+}
+
+// Batch returns rows [lo, hi) as a copy-free view plus labels.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Mat, []int) {
+	if lo < 0 || hi > d.X.Rows || lo >= hi {
+		panic(fmt.Sprintf("nn: Batch [%d, %d) out of range", lo, hi))
+	}
+	return &tensor.Mat{
+		Rows: hi - lo,
+		Cols: d.X.Cols,
+		Data: d.X.Data[lo*d.X.Cols : hi*d.X.Cols],
+	}, d.Labels[lo:hi]
+}

@@ -1,0 +1,364 @@
+// Package ps implements a real, concurrent parameter server over the
+// transport package: workers push gradient tensors, the server aggregates
+// each tensor once every worker's contribution has arrived, and pull
+// requests answer with the aggregated (mean) gradient. It is the live
+// counterpart of the discrete-event PS in internal/cluster — goroutines,
+// locks, and actual bytes instead of simulated events.
+//
+// Aggregation is deterministic: contributions are summed in worker-id
+// order once complete, so the result is bit-identical regardless of
+// arrival order. That property lets the emulation assert that every
+// communication schedule produces exactly the same training trajectory.
+package ps
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"prophet/internal/transport"
+)
+
+type slotKey struct {
+	iter, tensor uint32
+}
+
+// slot is one tensor's aggregation state for one iteration.
+type slot struct {
+	contrib [][]float64 // indexed by worker id
+	got     int
+	mean    []float64
+	waiting []pendingPull
+	served  int
+}
+
+type pendingPull struct {
+	worker int
+}
+
+// Server aggregates pushes from a fixed set of workers.
+type Server struct {
+	workers int
+
+	mu    sync.Mutex
+	slots map[slotKey]*slot
+
+	conns   []net.Conn
+	writeMu []sync.Mutex
+
+	pushes, pulls int
+
+	// respondWG tracks in-flight asynchronous responses; asyncErr holds
+	// the first response-write failure.
+	respondWG sync.WaitGroup
+	asyncErr  error
+}
+
+// NewServer creates a server expecting the given number of workers.
+func NewServer(workers int) *Server {
+	if workers <= 0 {
+		panic("ps: NewServer needs at least one worker")
+	}
+	return &Server{
+		workers: workers,
+		slots:   make(map[slotKey]*slot),
+	}
+}
+
+// Stats returns the number of push and pull frames handled so far.
+func (s *Server) Stats() (pushes, pulls int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes, s.pulls
+}
+
+// Serve handles one connection per worker (conns[i] belongs to worker i)
+// until every connection closes. It returns the first protocol error, or
+// nil on clean shutdown.
+func (s *Server) Serve(conns []net.Conn) error {
+	if len(conns) != s.workers {
+		return fmt.Errorf("ps: %d connections for %d workers", len(conns), s.workers)
+	}
+	s.conns = conns
+	s.writeMu = make([]sync.Mutex, len(conns))
+	errs := make(chan error, len(conns))
+	var wg sync.WaitGroup
+	for w := range conns {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs <- s.serveWorker(w)
+		}(w)
+	}
+	wg.Wait()
+	s.respondWG.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asyncErr
+}
+
+func (s *Server) serveWorker(w int) error {
+	for {
+		f, err := transport.ReadFrame(s.conns[w])
+		if err != nil {
+			return nil // connection closed: worker done
+		}
+		switch f.Type {
+		case transport.Push:
+			if err := s.handlePush(w, f); err != nil {
+				return err
+			}
+		case transport.PullReq:
+			if err := s.handlePull(w, f); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ps: worker %d sent unexpected frame type %v", w, f.Type)
+		}
+	}
+}
+
+func (s *Server) getSlot(k slotKey) *slot {
+	sl, ok := s.slots[k]
+	if !ok {
+		sl = &slot{contrib: make([][]float64, s.workers)}
+		s.slots[k] = sl
+	}
+	return sl
+}
+
+func (s *Server) handlePush(w int, f *transport.Frame) error {
+	data, err := transport.DecodeFloats(f.Payload)
+	if err != nil {
+		return fmt.Errorf("ps: push from worker %d: %w", w, err)
+	}
+	k := slotKey{f.Iter, f.Tensor}
+	s.mu.Lock()
+	s.pushes++
+	sl := s.getSlot(k)
+	if sl.mean != nil || sl.contrib[w] != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("ps: worker %d pushed tensor %d twice in iteration %d", w, f.Tensor, f.Iter)
+	}
+	sl.contrib[w] = data
+	sl.got++
+	var flush []pendingPull
+	if sl.got == s.workers {
+		sl.aggregate(s.workers)
+		flush = sl.waiting
+		sl.waiting = nil
+	}
+	s.mu.Unlock()
+	for _, p := range flush {
+		s.respondAsync(p.worker, k)
+	}
+	return nil
+}
+
+// respondAsync sends a response without blocking the caller's read loop —
+// a worker's connection stays full duplex: its pushes keep flowing while a
+// large parameter response streams back.
+func (s *Server) respondAsync(w int, k slotKey) {
+	s.respondWG.Add(1)
+	go func() {
+		defer s.respondWG.Done()
+		if err := s.respond(w, k); err != nil {
+			s.mu.Lock()
+			if s.asyncErr == nil {
+				s.asyncErr = err
+			}
+			s.mu.Unlock()
+		}
+	}()
+}
+
+// aggregate sums contributions in worker-id order and divides by the
+// worker count (synchronous data parallelism: the mean gradient).
+func (sl *slot) aggregate(workers int) {
+	n := len(sl.contrib[0])
+	mean := make([]float64, n)
+	for w := 0; w < workers; w++ {
+		c := sl.contrib[w]
+		if len(c) != n {
+			panic(fmt.Sprintf("ps: worker %d pushed %d elems, worker 0 pushed %d", w, len(c), n))
+		}
+		for i, v := range c {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(workers)
+	for i := range mean {
+		mean[i] *= inv
+	}
+	sl.mean = mean
+	sl.contrib = nil
+}
+
+func (s *Server) handlePull(w int, f *transport.Frame) error {
+	k := slotKey{f.Iter, f.Tensor}
+	s.mu.Lock()
+	s.pulls++
+	sl := s.getSlot(k)
+	if sl.mean == nil {
+		sl.waiting = append(sl.waiting, pendingPull{worker: w})
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	s.respondAsync(w, k)
+	return nil
+}
+
+// respond sends the aggregated tensor to a worker and garbage-collects the
+// slot once every worker has received it.
+func (s *Server) respond(w int, k slotKey) error {
+	s.mu.Lock()
+	sl := s.slots[k]
+	mean := sl.mean
+	sl.served++
+	if sl.served == s.workers {
+		delete(s.slots, k)
+	}
+	s.mu.Unlock()
+
+	frame := &transport.Frame{
+		Type:    transport.PullResp,
+		Iter:    k.iter,
+		Tensor:  k.tensor,
+		Payload: transport.EncodeFloats(mean),
+	}
+	s.writeMu[w].Lock()
+	defer s.writeMu[w].Unlock()
+	return transport.WriteFrame(s.conns[w], frame)
+}
+
+// Client is a worker's connection to the parameter server.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[slotKey]chan []float64
+	readErr error
+	done    chan struct{}
+}
+
+// NewClient wraps a connection and starts its response reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[slotKey]chan []float64),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := transport.ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = nil
+			c.mu.Unlock()
+			return
+		}
+		if f.Type != transport.PullResp {
+			continue
+		}
+		data, err := transport.DecodeFloats(f.Payload)
+		if err != nil {
+			continue
+		}
+		k := slotKey{f.Iter, f.Tensor}
+		c.mu.Lock()
+		ch, ok := c.pending[k]
+		if ok {
+			delete(c.pending, k)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- data
+		}
+	}
+}
+
+// Push sends a gradient tensor to the server.
+func (c *Client) Push(iter, tensor int, data []float64) error {
+	f := &transport.Frame{
+		Type:    transport.Push,
+		Iter:    uint32(iter),
+		Tensor:  uint32(tensor),
+		Payload: transport.EncodeFloats(data),
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return transport.WriteFrame(c.conn, f)
+}
+
+// PullAsync sends a pull request for tensor `tensor` of iteration `iter`
+// and returns a channel that delivers the aggregated value (or closes if
+// the connection fails). The request frame is tiny, so issuing it inline
+// between pushes costs almost nothing and lets the response overlap later
+// pushes.
+func (c *Client) PullAsync(iter, tensor int) (<-chan []float64, error) {
+	k := slotKey{uint32(iter), uint32(tensor)}
+	ch := make(chan []float64, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := c.pending[k]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ps: duplicate pull for iter %d tensor %d", iter, tensor)
+	}
+	c.pending[k] = ch
+	c.mu.Unlock()
+
+	f := &transport.Frame{Type: transport.PullReq, Iter: k.iter, Tensor: k.tensor}
+	c.writeMu.Lock()
+	err := transport.WriteFrame(c.conn, f)
+	c.writeMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Pull requests tensor `tensor` of iteration `iter` and blocks until the
+// aggregated value arrives.
+func (c *Client) Pull(iter, tensor int) ([]float64, error) {
+	ch, err := c.PullAsync(iter, tensor)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ps: connection closed during pull: %w", err)
+	}
+	return data, nil
+}
+
+// Close shuts down the connection and waits for the reader to exit.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,249 @@
+package ps
+
+import (
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"prophet/internal/transport"
+)
+
+// newCluster spins up a server plus W clients over in-memory pipes.
+func newCluster(t *testing.T, workers int) (*Server, []*Client, func()) {
+	t.Helper()
+	srv := NewServer(workers)
+	clients := make([]*Client, workers)
+	serverEnds := make([]net.Conn, workers)
+	for w := 0; w < workers; w++ {
+		a, b := transport.Pipe(0, 0)
+		serverEnds[w] = b
+		clients[w] = NewClient(a)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(serverEnds) }()
+	cleanup := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, s := range serverEnds {
+			s.Close()
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+	return srv, clients, cleanup
+}
+
+func TestPushPullSingleWorker(t *testing.T) {
+	_, clients, cleanup := newCluster(t, 1)
+	defer cleanup()
+	if err := clients[0].Push(0, 5, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := clients[0].Pull(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestAggregationIsMean(t *testing.T) {
+	_, clients, cleanup := newCluster(t, 3)
+	defer cleanup()
+	var wg sync.WaitGroup
+	for w, v := range []float64{1, 2, 6} {
+		wg.Add(1)
+		go func(w int, v float64) {
+			defer wg.Done()
+			if err := clients[w].Push(0, 0, []float64{v}); err != nil {
+				t.Error(err)
+			}
+		}(w, v)
+	}
+	wg.Wait()
+	got, err := clients[0].Pull(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-3) > 1e-15 {
+		t.Fatalf("mean = %v, want 3", got[0])
+	}
+}
+
+func TestPullBlocksUntilAllPushed(t *testing.T) {
+	_, clients, cleanup := newCluster(t, 2)
+	defer cleanup()
+	if err := clients[0].Push(0, 0, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []float64, 1)
+	go func() {
+		v, err := clients[0].Pull(0, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	select {
+	case <-got:
+		t.Fatal("pull completed before all workers pushed")
+	default:
+	}
+	if err := clients[1].Push(0, 0, []float64{20}); err != nil {
+		t.Fatal(err)
+	}
+	v := <-got
+	if v[0] != 15 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestIterationsAreIndependent(t *testing.T) {
+	_, clients, cleanup := newCluster(t, 1)
+	defer cleanup()
+	clients[0].Push(0, 0, []float64{1})
+	clients[0].Push(1, 0, []float64{2})
+	v0, _ := clients[0].Pull(0, 0)
+	v1, _ := clients[0].Pull(1, 0)
+	if v0[0] != 1 || v1[0] != 2 {
+		t.Fatalf("v0=%v v1=%v", v0, v1)
+	}
+}
+
+func TestManyTensorsConcurrently(t *testing.T) {
+	const workers = 3
+	const tensors = 20
+	_, clients, cleanup := newCluster(t, workers)
+	defer cleanup()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for tix := 0; tix < tensors; tix++ {
+				if err := clients[w].Push(0, tix, []float64{float64(tix), float64(w)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for tix := tensors - 1; tix >= 0; tix-- {
+				v, err := clients[w].Pull(0, tix)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v[0] != float64(tix) || v[1] != 1 { // mean of 0,1,2
+					t.Errorf("tensor %d = %v", tix, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDeterministicAggregationOrder(t *testing.T) {
+	// Floating-point sums depend on order; the server must sum in worker
+	// order, so adversarial arrival orders give identical bits.
+	vals := []float64{1e-16, 1.0, -1.0}
+	run := func(order []int) float64 {
+		_, clients, cleanup := newCluster(t, 3)
+		defer cleanup()
+		for _, w := range order {
+			if err := clients[w].Push(0, 0, []float64{vals[w]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := clients[0].Pull(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v[0]
+	}
+	a := run([]int{0, 1, 2})
+	b := run([]int{2, 1, 0})
+	if a != b {
+		t.Fatalf("aggregation depends on arrival order: %v vs %v", a, b)
+	}
+}
+
+func TestDoublePushRejected(t *testing.T) {
+	srv := NewServer(1)
+	a, b := transport.Pipe(0, 0)
+	client := NewClient(a)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve([]net.Conn{b}) }()
+	client.Push(0, 0, []float64{1})
+	client.Push(0, 0, []float64{2})
+	err := <-done
+	if err == nil {
+		t.Fatal("double push not rejected")
+	}
+	client.Close()
+	b.Close()
+}
+
+func TestServerStats(t *testing.T) {
+	srv, clients, cleanup := newCluster(t, 1)
+	defer cleanup()
+	clients[0].Push(0, 0, []float64{1})
+	if _, err := clients[0].Pull(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	pushes, pulls := srv.Stats()
+	if pushes != 1 || pulls != 1 {
+		t.Fatalf("stats = %d, %d", pushes, pulls)
+	}
+}
+
+func TestServeWrongConnCount(t *testing.T) {
+	srv := NewServer(2)
+	if err := srv.Serve(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewServerZeroWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewServer(0)
+}
+
+func TestDuplicatePullRejected(t *testing.T) {
+	// No server: the far end just discards, so the first pull stays
+	// pending and the second must be rejected as a duplicate.
+	a, b := transport.Pipe(0, 0)
+	go io.Copy(io.Discard, b)
+	c := NewClient(a)
+	go c.Pull(0, 0) // parks forever; released by Close below
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first pull never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Pull(0, 0); err == nil {
+		t.Fatal("duplicate pull not rejected")
+	}
+	c.Close()
+	b.Close()
+}

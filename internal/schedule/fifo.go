@@ -1,0 +1,48 @@
+package schedule
+
+import "fmt"
+
+// FIFO is the default framework strategy (unscheduled MXNet): whole
+// gradients are transmitted in the order the aggregation layer releases
+// them, with no preemption. A large low-priority tensor therefore blocks
+// gradient 0 — the behaviour motivating the paper (Fig. 5, "default").
+type FIFO struct {
+	sizes []float64
+	queue []int
+}
+
+// NewFIFO creates the strategy for a model whose gradient i has size
+// sizes[i] bytes.
+func NewFIFO(sizes []float64) *FIFO {
+	return &FIFO{sizes: sizes}
+}
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// BeginIteration implements Scheduler.
+func (f *FIFO) BeginIteration(int) { f.queue = f.queue[:0] }
+
+// OnGenerated implements Scheduler.
+func (f *FIFO) OnGenerated(g int, _ float64) {
+	if g < 0 || g >= len(f.sizes) {
+		panic(fmt.Sprintf("schedule: FIFO.OnGenerated(%d) out of range", g))
+	}
+	f.queue = append(f.queue, g)
+}
+
+// Next implements Scheduler.
+func (f *FIFO) Next(float64) (Message, bool) {
+	if len(f.queue) == 0 {
+		return Message{}, false
+	}
+	g := f.queue[0]
+	f.queue = f.queue[1:]
+	return singlePiece(g, f.sizes[g], fmt.Sprintf("g%d", g)), true
+}
+
+// OnSent implements Scheduler.
+func (f *FIFO) OnSent(Message, float64, float64) {}
+
+// OnIterationEnd implements Scheduler.
+func (f *FIFO) OnIterationEnd(float64) {}

@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"fmt"
+
+	"prophet/internal/core"
+)
+
+// DefaultProphetEngineCost is the calibrated per-block dispatch cost.
+const DefaultProphetEngineCost = 0.5e-3
+
+// Prophet is the paper's strategy: using the profiled stepwise pattern
+// (generation times and transfer windows) and the monitored bandwidth, it
+// assembles gradients into blocks with Algorithm 1 and streams them through
+// the Scheduled Queue. Blocks are big enough to use the network well, yet
+// sized to finish before the next higher-priority gradients are generated;
+// after backward completes, remaining gradients go one by one in strict
+// priority order, starting with gradient 0 at its generation instant.
+type Prophet struct {
+	// EngineCost is the per-block dispatch cost of Prophet's C++ BytePS
+	// core integration (the paper reports negligible runtime overhead;
+	// the Scheduled Queue is consulted once per block, not per partition).
+	EngineCost float64
+
+	prof          *core.Profile
+	bandwidth     func() float64
+	overhead      func(bw float64) float64
+	queue         *core.Queue
+	plan          *core.Plan
+	plannedBW     float64
+	replans       int
+	ignoreWindows bool
+}
+
+// NewProphet creates the strategy. prof is the job profiler's output;
+// bandwidth is polled at each iteration start (the Network Bandwidth
+// Monitor) and a bandwidth change triggers re-planning. overhead, when
+// non-nil, returns the fixed per-message wire cost in seconds at a given
+// bandwidth, letting Algorithm 1 size blocks against true message times.
+func NewProphet(prof *core.Profile, bandwidth func() float64, overhead func(bw float64) float64) (*Prophet, error) {
+	if bandwidth == nil {
+		return nil, fmt.Errorf("schedule: Prophet needs a bandwidth source")
+	}
+	p := &Prophet{prof: prof, bandwidth: bandwidth, overhead: overhead, EngineCost: DefaultProphetEngineCost}
+	if err := p.replan(bandwidth()); err != nil {
+		return nil, err
+	}
+	p.queue = core.NewQueue(p.plan, prof.N())
+	return p, nil
+}
+
+func (p *Prophet) replan(bw float64) error {
+	if bw <= 0 {
+		return fmt.Errorf("schedule: Prophet got non-positive bandwidth %v", bw)
+	}
+	cfg := core.Config{Bandwidth: bw, PerMessageTime: p.EngineCost, IgnoreWindows: p.ignoreWindows}
+	if p.overhead != nil {
+		cfg.PerMessageTime += p.overhead(bw)
+	}
+	plan, err := core.Assemble(p.prof, cfg)
+	if err != nil {
+		return err
+	}
+	p.plan = plan
+	p.plannedBW = bw
+	p.replans++
+	return nil
+}
+
+// SetIgnoreWindows toggles the DESIGN.md §5 ablation mode (blocks ignore
+// the stepwise transfer windows) and re-plans immediately.
+func (p *Prophet) SetIgnoreWindows(on bool) error {
+	p.ignoreWindows = on
+	if err := p.replan(p.plannedBW); err != nil {
+		return err
+	}
+	p.queue.SetPlan(p.plan)
+	return nil
+}
+
+// Name implements Scheduler.
+func (p *Prophet) Name() string { return "prophet" }
+
+// Plan returns the current transfer plan (for inspection and traces).
+func (p *Prophet) Plan() *core.Plan { return p.plan }
+
+// Replans returns how many times Algorithm 1 has been re-run.
+func (p *Prophet) Replans() int { return p.replans }
+
+// BeginIteration implements Scheduler: it polls the bandwidth monitor and
+// re-runs Algorithm 1 when the estimate moved by more than 5%.
+func (p *Prophet) BeginIteration(int) {
+	bw := p.bandwidth()
+	if bw > 0 && relDiff(bw, p.plannedBW) > 0.05 {
+		if err := p.replan(bw); err == nil {
+			p.queue.SetPlan(p.plan)
+			return
+		}
+	}
+	p.queue.ResetIteration()
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return 1
+	}
+	return d / b
+}
+
+// OnGenerated implements Scheduler.
+func (p *Prophet) OnGenerated(g int, _ float64) { p.queue.MarkGenerated(g) }
+
+// Next implements Scheduler. Units are delivered strictly in plan order; a
+// unit whose gradients are not all generated blocks the stream, preserving
+// both block structure and priority.
+func (p *Prophet) Next(float64) (Message, bool) {
+	u, ok := p.queue.Ready()
+	if !ok {
+		return Message{}, false
+	}
+	p.queue.Pop()
+	msg := Message{Bytes: u.Bytes}
+	for _, s := range u.Spans {
+		msg.Pieces = append(msg.Pieces, Piece{Grad: s.Grad, Bytes: s.Bytes, Last: s.Last})
+	}
+	grads := u.Grads()
+	if u.Phase == core.Backward {
+		msg.Label = fmt.Sprintf("block[g%d..g%d]", grads[0], grads[len(grads)-1])
+	} else {
+		msg.Label = fmt.Sprintf("fwd[g%d]", grads[0])
+	}
+	msg.Stall = p.EngineCost
+	return msg, true
+}
+
+// OnSent implements Scheduler.
+func (p *Prophet) OnSent(msg Message, _, _ float64) {
+	p.queue.ReportFinish(core.Unit{})
+}
+
+// OnIterationEnd implements Scheduler.
+func (p *Prophet) OnIterationEnd(float64) {}

@@ -1,0 +1,107 @@
+// Package schedule implements the communication scheduling strategies the
+// paper evaluates, behind one interface the cluster simulator drives:
+//
+//   - FIFO — the default framework behaviour (MXNet): whole gradients in
+//     generation order.
+//   - P3 — priority-based parameter propagation: gradients sliced into
+//     fixed partitions, highest priority first (Jayarajan et al., MLSys'19).
+//   - ByteScheduler — credit-based priority scheduling with an optional
+//     online credit auto-tuner (Peng et al., SOSP'19).
+//   - Prophet — the paper's contribution: profiled stepwise blocks
+//     assembled by Algorithm 1 (package core).
+//
+// A scheduler owns the *ordering* decision only. The simulator reports
+// gradient generation (OnGenerated) and link availability (Next); the
+// scheduler answers with the next message to put on the wire.
+package schedule
+
+import "fmt"
+
+// Piece is a (possibly partial) slice of one gradient inside a message.
+type Piece struct {
+	// Grad is the gradient index the bytes belong to.
+	Grad int
+	// Bytes is the payload carried for that gradient.
+	Bytes float64
+	// Last marks the piece that completes the gradient: after it arrives,
+	// the parameter server can aggregate gradient Grad.
+	Last bool
+}
+
+// Message is one network transfer: one or more pieces sent back to back
+// with a single per-message overhead (they share a connection/window).
+type Message struct {
+	Pieces []Piece
+	Bytes  float64
+	// Label describes the message for traces, e.g. "block[12..24]".
+	Label string
+	// Stall is the sending strategy's engine dispatch cost for this
+	// message, in seconds, serialized before the wire transfer. The four
+	// strategies have very different implementation substrates (MXNet's
+	// native engine, P3's sliced KVStore, ByteScheduler's Python core
+	// with per-partition credit bookkeeping, Prophet's C++ BytePS core),
+	// and the paper's measurements — ByteScheduler losing to P3 at
+	// 3–4.5 Gbps in Table 2 despite coarser messages — are unexplainable
+	// by wire behaviour alone. See DESIGN.md §5 (engine-cost ablation).
+	Stall float64
+}
+
+// Priority returns the most critical gradient index carried, or a large
+// sentinel for an empty message.
+func (m Message) Priority() int {
+	p := 1 << 30
+	for _, pc := range m.Pieces {
+		if pc.Grad < p {
+			p = pc.Grad
+		}
+	}
+	return p
+}
+
+// Completes lists the gradients this message finishes (pieces with Last).
+func (m Message) Completes() []int {
+	var out []int
+	for _, pc := range m.Pieces {
+		if pc.Last {
+			out = append(out, pc.Grad)
+		}
+	}
+	return out
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("msg{%s %.0fB}", m.Label, m.Bytes)
+}
+
+// Scheduler decides the order and grouping of gradient transfers for one
+// worker. Implementations are single-goroutine (driven by the simulator's
+// event loop) and stateful across iterations.
+type Scheduler interface {
+	// Name identifies the strategy, e.g. "prophet".
+	Name() string
+	// BeginIteration resets per-iteration state before backward
+	// propagation of iteration iter starts.
+	BeginIteration(iter int)
+	// OnGenerated reports that gradient g was released by the aggregation
+	// layer at simulation time now.
+	OnGenerated(g int, now float64)
+	// Next returns the next message to transmit when the uplink is free.
+	// ok is false when nothing is currently eligible (the link idles until
+	// the next OnGenerated).
+	Next(now float64) (msg Message, ok bool)
+	// OnSent reports that a previously returned message finished its
+	// uplink transfer.
+	OnSent(msg Message, start, end float64)
+	// OnIterationEnd reports the duration of the completed iteration
+	// (used by auto-tuners).
+	OnIterationEnd(iterDur float64)
+}
+
+// singlePiece builds a whole-gradient message.
+func singlePiece(g int, bytes float64, label string) Message {
+	return Message{
+		Pieces: []Piece{{Grad: g, Bytes: bytes, Last: true}},
+		Bytes:  bytes,
+		Label:  label,
+	}
+}

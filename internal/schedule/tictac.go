@@ -1,0 +1,75 @@
+package schedule
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// TicTac approximates the op-level priority scheduling of TicTac (Hashemi
+// et al., MLSys'19): whole tensors transmitted in strict priority order
+// among those generated, with no partitioning. Preemption granularity is
+// therefore a whole tensor — finer than FIFO's obliviousness, coarser than
+// P3's partitions — which is exactly the middle ground the paper's related
+// work discussion places it in.
+type TicTac struct {
+	sizes []float64
+
+	// EngineCost is the per-tensor dispatch cost (TicTac rides the
+	// framework's native op scheduler, so it is small).
+	EngineCost float64
+
+	ready  gradHeap
+	inHeap []bool
+}
+
+// DefaultTicTacEngineCost is the calibrated per-tensor dispatch cost.
+const DefaultTicTacEngineCost = 0.2e-3
+
+// NewTicTac creates the strategy.
+func NewTicTac(sizes []float64) *TicTac {
+	return &TicTac{
+		sizes:      sizes,
+		EngineCost: DefaultTicTacEngineCost,
+		inHeap:     make([]bool, len(sizes)),
+	}
+}
+
+// Name implements Scheduler.
+func (t *TicTac) Name() string { return "tictac" }
+
+// BeginIteration implements Scheduler.
+func (t *TicTac) BeginIteration(int) {
+	t.ready = t.ready[:0]
+	for i := range t.inHeap {
+		t.inHeap[i] = false
+	}
+}
+
+// OnGenerated implements Scheduler.
+func (t *TicTac) OnGenerated(g int, _ float64) {
+	if g < 0 || g >= len(t.sizes) {
+		panic(fmt.Sprintf("schedule: TicTac.OnGenerated(%d) out of range", g))
+	}
+	if !t.inHeap[g] {
+		heap.Push(&t.ready, g)
+		t.inHeap[g] = true
+	}
+}
+
+// Next implements Scheduler.
+func (t *TicTac) Next(float64) (Message, bool) {
+	if len(t.ready) == 0 {
+		return Message{}, false
+	}
+	g := heap.Pop(&t.ready).(int)
+	t.inHeap[g] = false
+	m := singlePiece(g, t.sizes[g], fmt.Sprintf("op[g%d]", g))
+	m.Stall = t.EngineCost
+	return m, true
+}
+
+// OnSent implements Scheduler.
+func (t *TicTac) OnSent(Message, float64, float64) {}
+
+// OnIterationEnd implements Scheduler.
+func (t *TicTac) OnIterationEnd(float64) {}

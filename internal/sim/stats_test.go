@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStddevKnown(t *testing.T) {
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", got, want)
+	}
+}
+
+func TestStddevDegenerate(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("Stddev of single element should be 0")
+	}
+	if Stddev(nil) != 0 {
+		t.Fatal("Stddev of nil should be 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Fatalf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Fatalf("Max = %v", Max(xs))
+	}
+	if Sum(xs) != 11 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+}
+
+func TestMinEmptyIsInf(t *testing.T) {
+	if !math.IsInf(Min(nil), 1) {
+		t.Fatal("Min(nil) should be +Inf")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Fatal("Max(nil) should be -Inf")
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if Percentile(xs, 0) != 1 {
+		t.Fatalf("P0 = %v", Percentile(xs, 0))
+	}
+	if Percentile(xs, 100) != 5 {
+		t.Fatalf("P100 = %v", Percentile(xs, 100))
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %v", Median(xs))
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 25); got != 2.5 {
+		t.Fatalf("P25 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) should be 0")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(p1 % 101)
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/sim"
+)
+
+func TestVecAXPY(t *testing.T) {
+	v := Vec{1, 2, 3}
+	v.AXPY(2, Vec{10, 20, 30})
+	want := Vec{21, 42, 63}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("v = %v", v)
+		}
+	}
+}
+
+func TestVecAXPYMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Vec{1}.AXPY(1, Vec{1, 2})
+}
+
+func TestVecScaleZeroCloneAdd(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	v.Scale(3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("scale: %v", v)
+	}
+	if c[0] != 1 {
+		t.Fatal("clone aliased")
+	}
+	v.Add(Vec{1, 1})
+	if v[0] != 4 || v[1] != 7 {
+		t.Fatalf("add: %v", v)
+	}
+	v.Zero()
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	v := Vec{3, 4}
+	if v.Dot(Vec{1, 2}) != 11 {
+		t.Fatal("dot")
+	}
+	if v.Norm() != 5 {
+		t.Fatal("norm")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	n := 100000
+	seen := make([]int32, n)
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestParallelForEmptyAndSmall(t *testing.T) {
+	ParallelFor(0, func(lo, hi int) { t.Fatal("called for n=0") })
+	count := 0
+	ParallelFor(3, func(lo, hi int) { count += hi - lo })
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := NewMat(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMat(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	out := NewMat(2, 2)
+	MatMul(out, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("out = %v", out.Data)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MatMul(NewMat(2, 2), NewMat(2, 3), NewMat(2, 2))
+}
+
+func TestMatMulTransAMatchesExplicit(t *testing.T) {
+	rng := sim.NewRand(1)
+	a := NewMat(4, 3)
+	b := NewMat(4, 5)
+	a.FillRandn(rng, 1)
+	b.FillRandn(rng, 1)
+	out := NewMat(3, 5)
+	MatMulTransA(out, a, b)
+	// Explicit aᵀ.
+	at := NewMat(3, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			at.Set(c, r, a.At(r, c))
+		}
+	}
+	ref := NewMat(3, 5)
+	MatMul(ref, at, b)
+	for i := range ref.Data {
+		if math.Abs(out.Data[i]-ref.Data[i]) > 1e-12 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, out.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestMatMulTransBMatchesExplicit(t *testing.T) {
+	rng := sim.NewRand(2)
+	a := NewMat(4, 3)
+	b := NewMat(5, 3)
+	a.FillRandn(rng, 1)
+	b.FillRandn(rng, 1)
+	out := NewMat(4, 5)
+	MatMulTransB(out, a, b)
+	bt := NewMat(3, 5)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 3; c++ {
+			bt.Set(c, r, b.At(r, c))
+		}
+	}
+	ref := NewMat(4, 5)
+	MatMul(ref, a, bt)
+	for i := range ref.Data {
+		if math.Abs(out.Data[i]-ref.Data[i]) > 1e-12 {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestAddRowBias(t *testing.T) {
+	m := NewMat(2, 2)
+	AddRowBias(m, Vec{1, 2})
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 || m.At(1, 0) != 1 || m.At(1, 1) != 2 {
+		t.Fatalf("m = %v", m.Data)
+	}
+}
+
+func TestReLUAndBackward(t *testing.T) {
+	m := NewMat(1, 4)
+	copy(m.Data, []float64{-1, 2, 0, 3})
+	mask := ReLU(m)
+	if m.Data[0] != 0 || m.Data[1] != 2 || m.Data[3] != 3 {
+		t.Fatalf("relu: %v", m.Data)
+	}
+	g := NewMat(1, 4)
+	copy(g.Data, []float64{5, 5, 5, 5})
+	ReLUBackward(g, mask)
+	if g.Data[0] != 0 || g.Data[1] != 5 || g.Data[2] != 0 || g.Data[3] != 5 {
+		t.Fatalf("relu backward: %v", g.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	// Zero logits over 4 classes: loss = ln 4, gradient = (1/4 - onehot)/n.
+	logits := NewMat(2, 4)
+	grad := NewMat(2, 4)
+	loss := SoftmaxCrossEntropy(grad, logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	if math.Abs(grad.At(0, 0)-(0.25-1)/2) > 1e-12 {
+		t.Fatalf("grad = %v", grad.Row(0))
+	}
+	if math.Abs(grad.At(0, 1)-0.25/2) > 1e-12 {
+		t.Fatalf("grad = %v", grad.Row(0))
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientNumerically(t *testing.T) {
+	rng := sim.NewRand(3)
+	logits := NewMat(3, 5)
+	logits.FillRandn(rng, 1)
+	labels := []int{1, 4, 2}
+	grad := NewMat(3, 5)
+	base := SoftmaxCrossEntropy(grad, logits.Clone(), labels)
+	const eps = 1e-6
+	for i := range logits.Data {
+		bumped := logits.Clone()
+		bumped.Data[i] += eps
+		tmp := NewMat(3, 5)
+		lp := SoftmaxCrossEntropy(tmp, bumped, labels)
+		num := (lp - base) / eps
+		if math.Abs(num-grad.Data[i]) > 1e-4 {
+			t.Fatalf("grad[%d] = %v, numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SoftmaxCrossEntropy(NewMat(1, 2), NewMat(1, 2), []int{5})
+}
+
+// Property: softmax gradient rows sum to ~0 (probabilities minus one-hot).
+func TestPropertySoftmaxGradRowsSumZero(t *testing.T) {
+	f := func(seed uint64, labRaw uint8) bool {
+		rng := sim.NewRand(seed)
+		logits := NewMat(2, 6)
+		logits.FillRandn(rng, 2)
+		grad := NewMat(2, 6)
+		SoftmaxCrossEntropy(grad, logits, []int{int(labRaw) % 6, 0})
+		for r := 0; r < 2; r++ {
+			var s float64
+			for _, v := range grad.Row(r) {
+				s += v
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul is linear — (a)(b1+b2) == (a)(b1) + (a)(b2).
+func TestPropertyMatMulLinear(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		a := NewMat(3, 4)
+		b1 := NewMat(4, 2)
+		b2 := NewMat(4, 2)
+		a.FillRandn(rng, 1)
+		b1.FillRandn(rng, 1)
+		b2.FillRandn(rng, 1)
+		sum := NewMat(4, 2)
+		copy(sum.Data, b1.Data)
+		sum.Data.Add(b2.Data)
+		lhs := NewMat(3, 2)
+		MatMul(lhs, a, sum)
+		r1 := NewMat(3, 2)
+		r2 := NewMat(3, 2)
+		MatMul(r1, a, b1)
+		MatMul(r2, a, b2)
+		r1.Data.Add(r2.Data)
+		for i := range lhs.Data {
+			if math.Abs(lhs.Data[i]-r1.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMatInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMat(0, 3)
+}

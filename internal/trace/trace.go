@@ -1,0 +1,124 @@
+// Package trace exports simulation timelines in two formats: CSV series
+// for plotting, and the Chrome trace-event JSON format (chrome://tracing,
+// Perfetto) for interactive inspection of GPU and link activity.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"prophet/internal/cluster"
+	"prophet/internal/metrics"
+)
+
+// WriteCSV writes aligned series as CSV: a time column (bin start, seconds)
+// followed by one column per series. All series must share the bin width
+// and length.
+func WriteCSV(w io.Writer, binWidth float64, headers []string, series ...[]float64) error {
+	if len(headers) != len(series)+1 {
+		return fmt.Errorf("trace: %d headers for %d series (need time header + one per series)", len(headers), len(series))
+	}
+	n := 0
+	for i, s := range series {
+		if i == 0 {
+			n = len(s)
+		} else if len(s) != n {
+			return fmt.Errorf("trace: series %d has %d bins, want %d", i, len(s), n)
+		}
+	}
+	for i, h := range headers {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, h); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for row := 0; row < n; row++ {
+		line := strconv.FormatFloat(float64(row)*binWidth, 'g', -1, 64)
+		for _, s := range series {
+			line += "," + strconv.FormatFloat(s[row], 'g', -1, 64)
+		}
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Event is one Chrome trace-event entry (the "X" complete-event form).
+type Event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// ChromeTrace converts a cluster run (with RecordLinks enabled) into trace
+// events: one process per worker, with GPU, uplink, and downlink tracks.
+func ChromeTrace(res *cluster.Result) []Event {
+	var events []Event
+	addIntervals := func(pid, tid int, name string, ivs []metrics.Interval) {
+		for _, iv := range ivs {
+			events = append(events, Event{
+				Name: name, Ph: "X",
+				Ts: iv.Start * 1e6, Dur: iv.Duration() * 1e6,
+				Pid: pid, Tid: tid,
+			})
+		}
+	}
+	for w := range res.GPU {
+		addIntervals(w, 0, "gpu", res.GPU[w].Intervals())
+	}
+	for w := range res.UpRecords {
+		for _, rec := range res.UpRecords[w] {
+			events = append(events, Event{
+				Name: rec.Tag, Ph: "X",
+				Ts: rec.Start * 1e6, Dur: (rec.End - rec.Start) * 1e6,
+				Pid: w, Tid: 1,
+			})
+		}
+	}
+	for w := range res.DownRecords {
+		for _, rec := range res.DownRecords[w] {
+			events = append(events, Event{
+				Name: rec.Tag, Ph: "X",
+				Ts: rec.Start * 1e6, Dur: (rec.End - rec.Start) * 1e6,
+				Pid: w, Tid: 2,
+			})
+		}
+	}
+	return events
+}
+
+// WriteChromeTrace writes the events as a JSON array consumable by
+// chrome://tracing and Perfetto.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteTransferCSV writes a per-gradient transfer log (Fig. 11's underlying
+// data) as CSV.
+func WriteTransferCSV(w io.Writer, log *metrics.TransferLog) error {
+	if _, err := io.WriteString(w, "iteration,gradient,generated,start,end,wait,duration\n"); err != nil {
+		return err
+	}
+	for _, e := range log.Entries {
+		_, err := fmt.Fprintf(w, "%d,%d,%g,%g,%g,%g,%g\n",
+			e.Iteration, e.Gradient, e.Generated, e.Start, e.End, e.Wait(), e.Duration())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

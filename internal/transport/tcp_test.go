@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"net"
+	"testing"
+)
+
+func TestTCPLoopbackCarriesFrames(t *testing.T) {
+	ln, err := ListenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptCh <- accepted{c, err}
+	}()
+
+	client, err := DialShaped(ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	acc := <-acceptCh
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	defer acc.conn.Close()
+
+	want := &Frame{Type: Push, Iter: 9, Tensor: 3, Payload: EncodeFloats([]float64{1, 2, 3})}
+	if err := WriteFrame(client, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(acc.conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := DecodeFloats(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 9 || got.Tensor != 3 || len(vals) != 3 || vals[2] != 3 {
+		t.Fatalf("frame = %+v vals = %v", got, vals)
+	}
+}
+
+func TestDialShapedBadAddr(t *testing.T) {
+	if _, err := DialShaped("127.0.0.1:1", 0); err == nil {
+		t.Skip("something is actually listening on port 1")
+	}
+}
+
+// Fuzzing: frame parsing must never panic or over-allocate on arbitrary
+// bytes, and valid frames must round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var seed []byte
+	{
+		var buf writerBuf
+		WriteFrame(&buf, &Frame{Type: Push, Iter: 1, Tensor: 2, Payload: []byte{1, 2, 3}})
+		seed = buf
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(readerOf(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed frame must re-serialize to a prefix of the
+		// input.
+		var buf writerBuf
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		if len(buf) > len(data) {
+			t.Fatalf("frame larger than input: %d > %d", len(buf), len(data))
+		}
+		for i := range buf {
+			if buf[i] != data[i] {
+				t.Fatalf("round trip mismatch at byte %d", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeFloats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeFloats(data)
+		if err != nil {
+			if len(data)%8 == 0 {
+				t.Fatalf("aligned payload rejected: %v", err)
+			}
+			return
+		}
+		if len(vals) != len(data)/8 {
+			t.Fatalf("decoded %d floats from %d bytes", len(vals), len(data))
+		}
+	})
+}
+
+// writerBuf / readerOf are minimal io adapters for fuzzing.
+type writerBuf []byte
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	data []byte
+}
+
+func readerOf(b []byte) *sliceReader { return &sliceReader{b} }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+var errEOF = net.ErrClosed // any error terminates ReadFrame cleanly

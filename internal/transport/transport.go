@@ -1,0 +1,237 @@
+// Package transport provides the byte-level machinery for the real
+// parameter-server emulation: a binary frame format for push/pull traffic,
+// float64 payload codecs, and a token-bucket rate limiter that shapes a
+// connection to a configured bandwidth — standing in for the EC2 links of
+// the paper's testbed while exercising real reads, writes, and goroutines.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// MsgType labels a frame.
+type MsgType uint8
+
+// Frame types: a gradient push, a parameter pull request, and its response.
+const (
+	Push MsgType = iota + 1
+	PullReq
+	PullResp
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case Push:
+		return "push"
+	case PullReq:
+		return "pull-req"
+	case PullResp:
+		return "pull-resp"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Frame is one message between a worker and the parameter server.
+type Frame struct {
+	Type MsgType
+	// Iter is the training iteration the tensor belongs to.
+	Iter uint32
+	// Tensor is the parameter tensor index (priority).
+	Tensor uint32
+	// Payload carries float64 data for Push and PullResp frames.
+	Payload []byte
+}
+
+// header: type(1) + iter(4) + tensor(4) + payload length(4).
+const headerSize = 13
+
+// MaxPayload bounds a frame's payload to keep a corrupted length prefix
+// from allocating unbounded memory.
+const MaxPayload = 1 << 28
+
+// WriteFrame serializes f to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d exceeds max %d", len(f.Payload), MaxPayload)
+	}
+	var hdr [headerSize]byte
+	hdr[0] = byte(f.Type)
+	binary.LittleEndian.PutUint32(hdr[1:5], f.Iter)
+	binary.LittleEndian.PutUint32(hdr[5:9], f.Tensor)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame deserializes one frame from r.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Type:   MsgType(hdr[0]),
+		Iter:   binary.LittleEndian.Uint32(hdr[1:5]),
+		Tensor: binary.LittleEndian.Uint32(hdr[5:9]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:13])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("transport: frame payload %d exceeds max %d", n, MaxPayload)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// EncodeFloats packs xs as little-endian float64 bytes.
+func EncodeFloats(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloats unpacks little-endian float64 bytes.
+func DecodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("transport: float payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Limiter is a token-bucket byte rate limiter safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+	// sleep is replaceable for tests.
+	sleep func(time.Duration)
+}
+
+// NewLimiter creates a limiter at `bytesPerSec` with the given burst
+// capacity (bytes sent back-to-back before shaping kicks in).
+func NewLimiter(bytesPerSec, burst float64) *Limiter {
+	if bytesPerSec <= 0 || burst <= 0 {
+		panic("transport: limiter needs positive rate and burst")
+	}
+	return &Limiter{
+		rate:   bytesPerSec,
+		burst:  burst,
+		tokens: burst,
+		last:   time.Now(),
+		sleep:  time.Sleep,
+	}
+}
+
+// Rate returns the configured bytes/sec.
+func (l *Limiter) Rate() float64 { return l.rate }
+
+// Wait blocks until n bytes may be sent. Requests larger than the burst are
+// admitted in burst-sized installments.
+func (l *Limiter) Wait(n int) {
+	for n > 0 {
+		chunk := n
+		if float64(chunk) > l.burst {
+			chunk = int(l.burst)
+		}
+		l.waitChunk(chunk)
+		n -= chunk
+	}
+}
+
+func (l *Limiter) waitChunk(n int) {
+	l.mu.Lock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	l.tokens -= float64(n)
+	var wait time.Duration
+	if l.tokens < 0 {
+		wait = time.Duration(-l.tokens / l.rate * float64(time.Second))
+	}
+	sleep := l.sleep
+	l.mu.Unlock()
+	if wait > 0 {
+		sleep(wait)
+	}
+}
+
+// Conn shapes writes on an underlying net.Conn to a limiter's rate. Reads
+// are unshaped (the peer's writes are shaped on their side).
+type Conn struct {
+	net.Conn
+	limiter *Limiter
+}
+
+// NewConn wraps c with the limiter (nil means unshaped).
+func NewConn(c net.Conn, l *Limiter) *Conn { return &Conn{Conn: c, limiter: l} }
+
+// Write implements net.Conn with rate shaping.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.limiter != nil {
+		c.limiter.Wait(len(b))
+	}
+	return c.Conn.Write(b)
+}
+
+// Pipe returns an in-memory, synchronous full-duplex connection pair with
+// each direction shaped to the given rates (0 = unshaped).
+func Pipe(aToB, bToA float64) (a, b net.Conn) {
+	pa, pb := net.Pipe()
+	var la, lb *Limiter
+	if aToB > 0 {
+		la = NewLimiter(aToB, 64<<10)
+	}
+	if bToA > 0 {
+		lb = NewLimiter(bToA, 64<<10)
+	}
+	return NewConn(pa, la), NewConn(pb, lb)
+}
+
+// ListenLoopback opens a TCP listener on a kernel-assigned localhost port,
+// for emulations that want real sockets instead of in-memory pipes.
+func ListenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// DialShaped connects to addr over TCP and shapes writes to bytesPerSec
+// (0 = unshaped).
+func DialShaped(addr string, bytesPerSec float64) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var l *Limiter
+	if bytesPerSec > 0 {
+		l = NewLimiter(bytesPerSec, 64<<10)
+	}
+	return NewConn(c, l), nil
+}

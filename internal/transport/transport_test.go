@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Frame{Type: Push, Iter: 7, Tensor: 42, Payload: []byte{1, 2, 3}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != Push || out.Iter != 7 || out.Tensor != 42 || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: PullReq, Iter: 1, Tensor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 || out.Type != PullReq {
+		t.Fatalf("frame = %+v", out)
+	}
+}
+
+func TestFrameSequenceOverStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteFrame(&buf, &Frame{Type: Push, Iter: uint32(i), Tensor: uint32(i * 2), Payload: make([]byte, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Iter != uint32(i) || len(f.Payload) != i {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, &Frame{Type: Push, Payload: []byte{1, 2, 3, 4}})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated frame")
+	}
+}
+
+func TestReadFrameHugeLengthRejected(t *testing.T) {
+	hdr := make([]byte, headerSize)
+	hdr[0] = byte(Push)
+	hdr[9] = 0xff
+	hdr[10] = 0xff
+	hdr[11] = 0xff
+	hdr[12] = 0xff
+	if _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("expected error on oversized length prefix")
+	}
+}
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	in := []float64{0, 1, -1, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	out, err := DecodeFloats(EncodeFloats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeFloatsBadLength(t *testing.T) {
+	if _, err := DecodeFloats(make([]byte, 9)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPropertyFloatCodec(t *testing.T) {
+	f := func(xs []float64) bool {
+		out, err := DecodeFloats(EncodeFloats(xs))
+		if err != nil || len(out) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if out[i] != xs[i] && !(math.IsNaN(out[i]) && math.IsNaN(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimiterShapesThroughput(t *testing.T) {
+	l := NewLimiter(1e6, 1e4) // 1 MB/s, 10 KB burst
+	// 40 KB through a 1 MB/s limiter ≈ 30 ms of shaping beyond the burst.
+	start := time.Now()
+	l.Wait(40_000)
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("shaping too weak: %v", elapsed)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("shaping too strong: %v", elapsed)
+	}
+}
+
+func TestLimiterBurstIsFree(t *testing.T) {
+	var slept time.Duration
+	l := NewLimiter(1e3, 1e6)
+	l.sleep = func(d time.Duration) { slept += d }
+	l.Wait(1000) // well inside burst
+	if slept != 0 {
+		t.Fatalf("slept %v inside burst", slept)
+	}
+}
+
+func TestLimiterBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLimiter(0, 1)
+}
+
+func TestPipeCarriesFrames(t *testing.T) {
+	a, b := Pipe(0, 0)
+	defer a.Close()
+	defer b.Close()
+	done := make(chan *Frame, 1)
+	go func() {
+		f, err := ReadFrame(b)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- f
+	}()
+	want := &Frame{Type: PullResp, Iter: 3, Tensor: 9, Payload: EncodeFloats([]float64{1.5, -2.5})}
+	if err := WriteFrame(a, want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got.Tensor != 9 || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestShapedPipeSlowsTransfer(t *testing.T) {
+	// 200 KB at 1 MB/s should take ~130ms beyond the 64 KB burst.
+	a, b := Pipe(1e6, 0)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		io.Copy(io.Discard, b)
+	}()
+	payload := make([]byte, 200_000)
+	start := time.Now()
+	if err := WriteFrame(a, &Frame{Type: Push, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("shaped write finished in %v, too fast", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("shaped write took %v, too slow", elapsed)
+	}
+}
+
+func TestConnInterface(t *testing.T) {
+	var _ net.Conn = &Conn{}
+}
+
+func TestLimiterConcurrentUse(t *testing.T) {
+	l := NewLimiter(1e9, 1e9) // effectively unshaped: just exercise races
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Wait(1000)
+			}
+		}()
+	}
+	wg.Wait()
+}

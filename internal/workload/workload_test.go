@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/model"
+)
+
+func TestSweepDefaults(t *testing.T) {
+	pts := Sweep{}.Points()
+	if len(pts) != 1 {
+		t.Fatalf("empty sweep expanded to %d points", len(pts))
+	}
+	if pts[0].Model != "resnet50" || pts[0].Scheduler != "prophet" {
+		t.Fatalf("default point = %+v", pts[0])
+	}
+}
+
+func TestSweepCartesianSize(t *testing.T) {
+	s := Sweep{
+		Models:     []string{"resnet18", "resnet50"},
+		Batches:    []int{16, 32, 64},
+		Mbps:       []float64{1000, 3000},
+		Workers:    []int{3},
+		Schedulers: []string{"fifo", "prophet"},
+	}
+	pts := s.Points()
+	if len(pts) != 24 || s.Size() != 24 {
+		t.Fatalf("got %d points, Size()=%d, want 24", len(pts), s.Size())
+	}
+	// Deterministic order: first point is the first of every dimension.
+	if pts[0].Model != "resnet18" || pts[0].Batch != 16 || pts[0].Scheduler != "fifo" {
+		t.Fatalf("first point = %+v", pts[0])
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.String()] {
+			t.Fatalf("duplicate point %s", p)
+		}
+		seen[p.String()] = true
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	if err := (Sweep{Models: []string{"resnet18"}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Sweep{
+		{Models: []string{"nope"}},
+		{Batches: []int{0}},
+		{Mbps: []float64{-1}},
+		{Workers: []int{0}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := Point{Model: "resnet50", Batch: 64, Mbps: 3000, Workers: 3, Scheduler: "prophet"}
+	if p.String() != "resnet50/bs64/3000Mbps/w3/prophet" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestSyntheticShapes(t *testing.T) {
+	for _, shape := range []Shape{Uniform, TailHeavy, FrontHeavy, Alternating} {
+		m, err := Synthetic(shape, 40, 10_000_000, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if m.NumGradients() != 40 {
+			t.Fatalf("%v: %d tensors", shape, m.NumGradients())
+		}
+		if m.TotalParams() < 10_000_000 {
+			t.Fatalf("%v: params %d < requested", shape, m.TotalParams())
+		}
+	}
+}
+
+func TestSyntheticTailHeavySkew(t *testing.T) {
+	m, err := Synthetic(TailHeavy, 40, 10_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := m.Grads[0].Elems
+	back := m.Grads[39].Elems
+	if back < 5*front {
+		t.Fatalf("tail-heavy not skewed: front %d back %d", front, back)
+	}
+	mf, err := Synthetic(FrontHeavy, 40, 10_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Grads[0].Elems < 5*mf.Grads[39].Elems {
+		t.Fatal("front-heavy not skewed")
+	}
+}
+
+func TestSyntheticAlternating(t *testing.T) {
+	m, err := Synthetic(Alternating, 10, 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Grads[0].Elems < 10*m.Grads[1].Elems {
+		t.Fatalf("alternating pattern missing: %d vs %d", m.Grads[0].Elems, m.Grads[1].Elems)
+	}
+}
+
+func TestSyntheticRejectsBadArgs(t *testing.T) {
+	if _, err := Synthetic(Uniform, 0, 100, 1); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := Synthetic(Uniform, 10, 5, 1); err == nil {
+		t.Fatal("expected error for totalParams < n")
+	}
+	if _, err := Synthetic(Shape(99), 10, 100, 1); err == nil {
+		t.Fatal("expected error for unknown shape")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, _ := Synthetic(Uniform, 20, 1_000_000, 7)
+	b, _ := Synthetic(Uniform, 20, 1_000_000, 7)
+	for i := range a.Grads {
+		if a.Grads[i].Elems != b.Grads[i].Elems {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+// Property: synthetic models always validate against the model package's
+// invariants and conserve the requested parameter total within rounding.
+func TestPropertySyntheticWellFormed(t *testing.T) {
+	f := func(shapeRaw, nRaw uint8, seed uint64) bool {
+		shape := Shape(shapeRaw % 4)
+		n := int(nRaw%60) + 1
+		total := int64(n) * 10_000
+		m, err := Synthetic(shape, n, total, seed)
+		if err != nil {
+			return false
+		}
+		if m.TotalParams() < total {
+			return false
+		}
+		var _ = model.BytesPerParam
+		return m.NumGradients() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
