@@ -1,0 +1,27 @@
+# Tier-1 verification plus a race pass over the concurrent packages.
+
+GO ?= go
+
+# Packages with real goroutine concurrency (live PS path + fault layer).
+RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/tensor ./internal/fault
+
+.PHONY: check tier1 build vet test race bench
+
+check: tier1 race
+
+tier1: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

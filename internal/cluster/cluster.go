@@ -74,6 +74,48 @@ type Config struct {
 	// parameter responses per partition regardless of how pushes were
 	// batched. Default 4 MB; negative disables splitting.
 	PullPartition float64
+	// Faults injects crash-stop worker failures (the degraded workers of
+	// the paper's Sec. 7 discussion): each faulted worker halts at the
+	// start of its AtIteration and pushes nothing further.
+	Faults []WorkerFault
+	// FaultPolicy selects how the cluster degrades when a fault fires
+	// (default FaultFailFast).
+	FaultPolicy FaultPolicy
+}
+
+// WorkerFault is one crash-stop failure: Worker halts at the start of
+// AtIteration (its in-flight pushes from earlier iterations still drain),
+// and under FaultDrop the cluster detects the failure DetectDelay seconds
+// later.
+type WorkerFault struct {
+	Worker      int
+	AtIteration int
+	DetectDelay float64
+}
+
+// FaultPolicy selects the simulated cluster's degradation strategy.
+type FaultPolicy string
+
+// Supported fault policies.
+const (
+	// FaultFailFast leaves the BSP barrier intact: a crashed worker stalls
+	// the cluster, and Run returns a descriptive error instead of the
+	// generic deadlock report.
+	FaultFailFast FaultPolicy = "fail-fast"
+	// FaultDrop removes the crashed worker from the aggregation barrier
+	// DetectDelay seconds after the halt, renormalizing coverage over the
+	// survivors so they finish without it.
+	FaultDrop FaultPolicy = "drop-and-renormalize"
+)
+
+// faultFor returns the fault configured for worker w, if any.
+func (c *Config) faultFor(w int) *WorkerFault {
+	for i := range c.Faults {
+		if c.Faults[i].Worker == w {
+			return &c.Faults[i]
+		}
+	}
+	return nil
 }
 
 func (c *Config) setDefaults() error {
@@ -128,6 +170,21 @@ func (c *Config) setDefaults() error {
 	case c.PullPartition < 0:
 		c.PullPartition = 0
 	}
+	switch c.FaultPolicy {
+	case FaultFailFast, FaultDrop:
+	case "":
+		c.FaultPolicy = FaultFailFast
+	default:
+		return fmt.Errorf("cluster: unknown fault policy %q", c.FaultPolicy)
+	}
+	for _, f := range c.Faults {
+		if f.Worker < 0 || f.Worker >= c.Workers {
+			return fmt.Errorf("cluster: fault for unknown worker %d", f.Worker)
+		}
+		if f.AtIteration < 0 || f.DetectDelay < 0 {
+			return fmt.Errorf("cluster: fault for worker %d has negative iteration or delay", f.Worker)
+		}
+	}
 	return nil
 }
 
@@ -152,6 +209,9 @@ type Result struct {
 	Batch, Workers int
 	// SchedulerName echoes worker 0's strategy.
 	SchedulerName string
+	// Dropped lists workers removed from the barrier under FaultDrop,
+	// ascending.
+	Dropped []int
 }
 
 // Rate returns the per-worker steady-state training rate in samples/sec,
@@ -190,6 +250,7 @@ func Run(cfg Config) (*Result, error) {
 	eng := sim.New()
 	ps := newParamServer(cfg.Workers, cfg.Model.NumGradients(), gradSizes(cfg.Model))
 	ps.asp = cfg.ASP
+	ps.dead = make([]bool, cfg.Workers)
 
 	res := &Result{
 		Batch:   cfg.Batch,
@@ -211,10 +272,32 @@ func Run(cfg Config) (*Result, error) {
 	}
 	eng.Run()
 
+	var halted []int
 	for _, w := range workers {
+		if w.halted {
+			halted = append(halted, w.id)
+		}
+	}
+	if cfg.FaultPolicy == FaultFailFast && len(halted) > 0 {
+		for _, w := range workers {
+			if !w.halted && w.iter < cfg.Iterations {
+				return nil, fmt.Errorf("cluster: fail-fast — worker %d crashed at iteration %d and stalled the BSP barrier (worker %d stopped at iteration %d/%d)",
+					halted[0], cfg.faultFor(halted[0]).AtIteration, w.id, w.iter, cfg.Iterations)
+			}
+		}
+	}
+	for _, w := range workers {
+		if w.halted || ps.dead[w.id] {
+			continue // crash-stop under a tolerant policy: expected shortfall
+		}
 		if w.iter < cfg.Iterations {
 			return nil, fmt.Errorf("cluster: deadlock — worker %d stopped at iteration %d/%d (phase %v, fwdSeg %d, bwdSeg %d, %s)",
 				w.id, w.iter, cfg.Iterations, w.phase, w.fwdSeg, w.bwdSeg, w.debugPulled())
+		}
+	}
+	for w, d := range ps.dead {
+		if d {
+			res.Dropped = append(res.Dropped, w)
 		}
 	}
 

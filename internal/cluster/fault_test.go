@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"prophet/internal/model"
+)
+
+// faultConfig is smallConfig with 3 workers so dropping one leaves a
+// functioning cluster (worker 0 carries the metrics, so the casualty is
+// worker 1).
+func faultConfig(t *testing.T, policy FaultPolicy) Config {
+	t.Helper()
+	cfg := smallConfig(t, FIFOFactory(model.ResNet18()), 5)
+	cfg.Workers = 3
+	cfg.Faults = []WorkerFault{{Worker: 1, AtIteration: 3, DetectDelay: 0.2}}
+	cfg.FaultPolicy = policy
+	return cfg
+}
+
+func TestFaultFailFastReportsCrash(t *testing.T) {
+	_, err := Run(faultConfig(t, FaultFailFast))
+	if err == nil {
+		t.Fatal("crashed worker under fail-fast produced no error")
+	}
+	if !strings.Contains(err.Error(), "worker 1 crashed at iteration 3") {
+		t.Fatalf("error %q does not describe the crash", err)
+	}
+}
+
+func TestFaultDropRenormalizesAndFinishes(t *testing.T) {
+	res, err := Run(faultConfig(t, FaultDrop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0] != 1 {
+		t.Fatalf("dropped %v, want [1]", res.Dropped)
+	}
+	if res.Iters.Count() != 6 {
+		t.Fatalf("worker 0 completed %d iterations, want 6", res.Iters.Count())
+	}
+}
+
+func TestFaultDropMatchesHealthyRateShape(t *testing.T) {
+	// After the drop the survivors should keep training at a sane rate:
+	// within 2x of a fault-free run (detection idles the cluster briefly).
+	healthy := faultConfig(t, FaultDrop)
+	healthy.Faults = nil
+	hres, err := Run(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := Run(faultConfig(t, FaultDrop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, dr := hres.Rate(2), dres.Rate(2)
+	if dr <= 0 {
+		t.Fatalf("post-drop rate %v", dr)
+	}
+	if dr < hr/2 {
+		t.Fatalf("post-drop rate %v collapsed vs healthy %v", dr, hr)
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cfg := faultConfig(t, FaultDrop)
+	cfg.Faults = []WorkerFault{{Worker: 9, AtIteration: 1}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range fault worker accepted")
+	}
+	cfg = faultConfig(t, "never-heard-of-it")
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown fault policy accepted")
+	}
+}

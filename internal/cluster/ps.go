@@ -23,6 +23,9 @@ type paramServer struct {
 	n     int
 	sizes []float64
 	iters map[int]*psIter
+	// dead[w] marks worker w dropped from the BSP barrier (FaultDrop):
+	// aggregation coverage renormalizes over the survivors.
+	dead []bool
 	// workersRef lets the PS wake workers whose pulls may have become
 	// eligible; set by Run after construction.
 	workersRef []*worker
@@ -90,6 +93,9 @@ func (ps *paramServer) covered(w int, pm *pullMsg) bool {
 			continue
 		}
 		for x := 0; x < ps.workers; x++ {
+			if ps.dead != nil && ps.dead[x] {
+				continue // dropped worker: barrier renormalized without it
+			}
 			if st.pushed[x][pc.grad] < need-slack {
 				return false
 			}
@@ -101,16 +107,37 @@ func (ps *paramServer) covered(w int, pm *pullMsg) bool {
 // gc drops aggregation state for iterations safely behind every worker's
 // communication epoch. Under ASP workers drift apart, so the slowest
 // worker's progress — not the caller's — bounds what can be discarded.
+// Dropped workers no longer gate the barrier, so their frozen epoch is
+// ignored.
 func (ps *paramServer) gc(int) {
-	min := ps.workersRef[0].commIter
-	for _, wk := range ps.workersRef[1:] {
-		if wk.commIter < min {
-			min = wk.commIter
+	min, seen := 0, false
+	for _, wk := range ps.workersRef {
+		if ps.dead != nil && ps.dead[wk.id] {
+			continue
 		}
+		if !seen || wk.commIter < min {
+			min, seen = wk.commIter, true
+		}
+	}
+	if !seen {
+		return
 	}
 	for k := range ps.iters {
 		if k < min-2 {
 			delete(ps.iters, k)
 		}
+	}
+}
+
+// dropWorker removes w from the BSP barrier and wakes every downlink,
+// since pulls gated only on w's missing pushes become eligible.
+func (ps *paramServer) dropWorker(w int) {
+	if ps.dead[w] {
+		return
+	}
+	ps.dead[w] = true
+	for _, wk := range ps.workersRef {
+		wk.pumpDownlink()
+		wk.advanceForward()
 	}
 }

@@ -56,6 +56,8 @@ type worker struct {
 	computing bool
 	fwdSeg    int
 	bwdSeg    int
+	// halted marks a crash-stop fault having fired (Config.Faults).
+	halted bool
 	// commIter tags in-flight communication with the iteration whose
 	// gradients it carries. Pushes of iteration k keep draining during
 	// forward propagation of k+1 (after w.iter has advanced), so the GPU
@@ -136,6 +138,20 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, res *Resul
 func (w *worker) startIteration() {
 	if w.iter >= w.cfg.Iterations {
 		w.phase = phaseDone
+		return
+	}
+	if f := w.cfg.faultFor(w.id); f != nil && w.iter >= f.AtIteration {
+		// Crash-stop: the GPU halts before computing this iteration.
+		// Pushes already handed to the uplink (earlier iterations) keep
+		// draining, matching a process crash after flushing its send
+		// queue. Under FaultDrop the PS notices DetectDelay later and
+		// renormalizes the barrier; under FaultFailFast the stall is
+		// reported after the run drains.
+		w.halted = true
+		w.phase = phaseDone
+		if w.cfg.FaultPolicy == FaultDrop {
+			w.eng.Schedule(f.DetectDelay, func() { w.ps.dropWorker(w.id) })
+		}
 		return
 	}
 	w.phase = phaseForward

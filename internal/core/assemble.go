@@ -360,7 +360,11 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 			continue
 		}
 		if start[q] < 0 {
-			start[q] = tNext + est(bytes)
+			// The gradient's bytes hit the wire after the bundle's
+			// per-message overhead and the bytes queued ahead of it —
+			// mirroring the backward phase, where tUsed opens at
+			// PerMessageTime before the first span's wire time.
+			start[q] = tNext + cfg.PerMessageTime + est(bytes)
 		}
 		spans = append(spans, Span{Grad: q, Bytes: remaining[q], Last: true})
 		bytes += remaining[q]

@@ -528,3 +528,43 @@ func TestPropertyAssembleConstraints(t *testing.T) {
 }
 
 func sortedInts(xs []int) bool { return sort.IntsAreSorted(xs) }
+
+func TestAssembleForwardBundleChargesPerMessageTime(t *testing.T) {
+	// A gradient first shipped inside a forward-phase bundle starts at
+	// t(q) = bundle start + PerMessageTime + E(bytes queued ahead of it):
+	// the bundle is one wire message, so its fixed per-message cost is
+	// paid before any payload byte moves — exactly as the backward phase
+	// charges it via tUsed. Omitting it understates t(q) by the overhead.
+	const bw, pmt = 50e6, 0.005
+	prof := stepProfile(t, 3, 4, 0.05, 2e6)
+	plan, err := Assemble(prof, Config{Bandwidth: bw, PerMessageTime: pmt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := func(b float64) float64 { return b / bw }
+	checkedAtOffset := 0
+	for ui, u := range plan.Units {
+		if u.Phase != Forward {
+			continue
+		}
+		ahead := 0.0
+		for _, s := range u.Spans {
+			// The forward phase stamps t(q) only for gradients whose first
+			// bytes ship here; earlier backward spans already set it.
+			if plan.UnitOf(s.Grad) == ui {
+				want := u.PlannedStart + pmt + est(ahead)
+				if math.Abs(plan.Start[s.Grad]-want) > 1e-12 {
+					t.Fatalf("t(%d) = %v, want %v (bundle start %v + overhead %v + E(%v ahead))",
+						s.Grad, plan.Start[s.Grad], want, u.PlannedStart, pmt, ahead)
+				}
+				if ahead > 0 {
+					checkedAtOffset++
+				}
+			}
+			ahead += s.Bytes
+		}
+	}
+	if checkedAtOffset == 0 {
+		t.Fatal("no bundled gradient started at a nonzero offset; test exercises nothing")
+	}
+}

@@ -1,0 +1,172 @@
+package emu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"prophet/internal/fault"
+	"prophet/internal/nn"
+	"prophet/internal/ps"
+)
+
+// chaosConfig is a small-but-not-tiny job: ~11 KB of gradients per
+// iteration, enough to overflow the throttle injector's 4 KB token-bucket
+// burst so a straggler link genuinely lags.
+func chaosConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Workers:    3,
+		Layers:     []int{16, 64, 4},
+		Dataset:    nn.Blobs(256, 16, 4, 7),
+		Batch:      16,
+		Iterations: 3,
+		LR:         0.1,
+		Policy:     FIFO,
+		Seed:       7,
+		Deadline:   30 * time.Second,
+	}
+}
+
+// TestChaosStragglerDropped: a throttled worker is detected by the
+// straggler policy, dropped, and the survivors finish training.
+func TestChaosStragglerDropped(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Faults = map[int]fault.Spec{1: fault.Throttle(16 << 10)}
+	cfg.Failure = DropWorker
+	cfg.PullTimeout = 10 * time.Second
+	cfg.StragglerTimeout = 50 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DroppedWorkers) != 1 || res.DroppedWorkers[0] != 1 {
+		t.Fatalf("dropped %v, want [1]", res.DroppedWorkers)
+	}
+	if len(res.Losses) != cfg.Iterations {
+		t.Fatalf("worker 0 recorded %d losses, want %d", len(res.Losses), cfg.Iterations)
+	}
+}
+
+// TestChaosDropFailFast: a connection cut mid-push under fail-fast produces
+// a descriptive error quickly — never a hang.
+func TestChaosDropFailFast(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Faults = map[int]fault.Spec{1: fault.DropAt(600)}
+	cfg.Failure = FailFast
+	cfg.PullTimeout = 2 * time.Second
+	start := time.Now()
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("run with a dropped link succeeded under fail-fast")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("fail-fast took %v", elapsed)
+	}
+}
+
+// TestChaosCorruptFrameFailsDescriptively: a corrupted frame header makes
+// the server reject the worker; fail-fast surfaces it with attribution.
+func TestChaosCorruptFrameFailsDescriptively(t *testing.T) {
+	cfg := chaosConfig(t)
+	// Offset 12 is the high byte of the first push frame's length prefix.
+	cfg.Faults = map[int]fault.Spec{1: fault.CorruptAt(12)}
+	cfg.Failure = FailFast
+	cfg.PullTimeout = 2 * time.Second
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("run with a corrupted frame succeeded under fail-fast")
+	}
+	if !strings.Contains(err.Error(), "worker 1") {
+		t.Fatalf("error %q does not attribute the failure to worker 1", err)
+	}
+}
+
+// TestChaosTransientStallRecovers: a stall shorter than the pull timeout
+// under wait-timeout completes training with no drops.
+func TestChaosTransientStallRecovers(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Faults = map[int]fault.Spec{1: fault.StallAt(600, 80*time.Millisecond)}
+	cfg.Failure = WaitTimeout
+	cfg.PullTimeout = 10 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DroppedWorkers) != 0 {
+		t.Fatalf("transient stall dropped workers %v", res.DroppedWorkers)
+	}
+	if len(res.Losses) != cfg.Iterations {
+		t.Fatalf("run incomplete: %d losses", len(res.Losses))
+	}
+}
+
+// TestChaosPermanentStallTimesOut: a stall longer than the pull timeout
+// fails the run with ErrPullTimeout within the stall's duration — the
+// wait-with-timeout policy's bound, not a hang.
+func TestChaosPermanentStallTimesOut(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Faults = map[int]fault.Spec{1: fault.StallAt(600, 700*time.Millisecond)}
+	cfg.Failure = WaitTimeout
+	cfg.PullTimeout = 100 * time.Millisecond
+	_, err := Run(cfg)
+	if !errors.Is(err, ps.ErrPullTimeout) {
+		t.Fatalf("err = %v, want ErrPullTimeout", err)
+	}
+}
+
+// TestChaosDeadline: the run-level deadline aborts a stuck job with a
+// descriptive error even when per-pull timeouts are generous.
+func TestChaosDeadline(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Faults = map[int]fault.Spec{1: fault.StallAt(600, 2*time.Second)}
+	cfg.Failure = WaitTimeout
+	cfg.PullTimeout = time.Minute
+	cfg.Deadline = 150 * time.Millisecond
+	start := time.Now()
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline error", err)
+	}
+	// The deadline abort closes every connection, which unblocks even the
+	// stalled worker's writes; the run must end well before the stall does.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline abort took %v", elapsed)
+	}
+}
+
+// TestChaosDerivedSeedsNeverHang sweeps seeded injector schedules across
+// every fault kind under the drop-worker policy: each run must either
+// complete (possibly with drops) or fail with a descriptive error — the
+// acceptance bar is the absence of hangs, enforced by the run deadline.
+func TestChaosDerivedSeedsNeverHang(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep")
+	}
+	for _, kind := range []fault.Kind{fault.Drop, fault.Stall, fault.Corrupt, fault.Straggler} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			kind, seed := kind, seed
+			t.Run(kind.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := chaosConfig(t)
+				cfg.Iterations = 2
+				cfg.Faults = map[int]fault.Spec{2: fault.Derive(seed, kind, 1, 2000)}
+				cfg.Failure = DropWorker
+				cfg.PullTimeout = 3 * time.Second
+				cfg.StragglerTimeout = 60 * time.Millisecond
+				cfg.Deadline = 20 * time.Second
+				res, err := Run(cfg)
+				if err != nil {
+					if !strings.Contains(err.Error(), "worker") && !strings.Contains(err.Error(), "emu:") {
+						t.Fatalf("undescriptive error: %v", err)
+					}
+					return
+				}
+				if len(res.Losses) != cfg.Iterations {
+					t.Fatalf("completed run recorded %d losses", len(res.Losses))
+				}
+			})
+		}
+	}
+}

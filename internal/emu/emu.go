@@ -9,6 +9,16 @@
 // schedule produces the bit-identical training trajectory; what changes is
 // *when* tensors move. The emulation records, per iteration, when tensor 0
 // (the gradient gating the next forward pass) finished its round trip.
+//
+// # Fault tolerance
+//
+// Worker links can be perturbed with the injectors from internal/fault
+// (Config.Faults), and Config.Failure selects how training degrades: fail
+// fast with a descriptive error, wait out a configurable grace period, or
+// drop the faulty worker and renormalize the gradient mean over the
+// survivors. With any fault configuration the run either completes under
+// the chosen policy or fails within the configured deadlines — it never
+// hangs.
 package emu
 
 import (
@@ -19,6 +29,7 @@ import (
 	"time"
 
 	"prophet/internal/core"
+	"prophet/internal/fault"
 	"prophet/internal/nn"
 	"prophet/internal/ps"
 	"prophet/internal/transport"
@@ -33,6 +44,26 @@ const (
 	FIFO     Policy = "fifo"
 	Priority Policy = "priority"
 	Prophet  Policy = "prophet"
+)
+
+// FailurePolicy selects how the emulation degrades when a worker link
+// faults or stalls.
+type FailurePolicy string
+
+// Supported failure policies.
+const (
+	// FailFast aborts the whole run the moment the server detects a worker
+	// failure, and on the first pull timeout. Default.
+	FailFast FailurePolicy = "fail-fast"
+	// WaitTimeout gives faults a grace period: nothing aborts eagerly, but
+	// every pull is bounded by PullTimeout, so a transient stall shorter
+	// than the grace completes the run while a permanent fault still fails
+	// it within the timeout.
+	WaitTimeout FailurePolicy = "wait-timeout"
+	// DropWorker removes failed or straggling workers from the aggregation
+	// barrier and renormalizes the gradient mean over the survivors; the
+	// run completes with Result.DroppedWorkers recording the casualties.
+	DropWorker FailurePolicy = "drop-worker"
 )
 
 // Config describes an emulated training job.
@@ -57,6 +88,28 @@ type Config struct {
 	// Seed drives model initialization (shared by all workers — they must
 	// start from identical parameters).
 	Seed uint64
+
+	// Faults maps a worker id to a fault injection spec applied to that
+	// worker's client-side connection (see internal/fault).
+	Faults map[int]fault.Spec
+	// Failure selects the degradation policy (default FailFast).
+	Failure FailurePolicy
+	// PullTimeout bounds each parameter pull. Zero keeps the fault-free
+	// default (wait forever) unless faults or a policy are configured, in
+	// which case it defaults to 10s so a faulted run can never hang.
+	PullTimeout time.Duration
+	// StragglerTimeout is the server-side detection delay before the
+	// drop-worker policy removes missing contributors (default
+	// PullTimeout/2).
+	StragglerTimeout time.Duration
+	// Deadline bounds the whole run; past it the emulation aborts with a
+	// descriptive error (0 = none).
+	Deadline time.Duration
+}
+
+// faultTolerant reports whether any fault-handling configuration is set.
+func (c *Config) faultTolerant() bool {
+	return len(c.Faults) > 0 || c.Failure != "" || c.PullTimeout > 0 || c.Deadline > 0
 }
 
 func (c *Config) validate() error {
@@ -78,6 +131,18 @@ func (c *Config) validate() error {
 		c.Policy = FIFO
 	default:
 		return fmt.Errorf("emu: unknown policy %q", c.Policy)
+	}
+	switch c.Failure {
+	case FailFast, WaitTimeout, DropWorker:
+	case "":
+		c.Failure = FailFast
+	default:
+		return fmt.Errorf("emu: unknown failure policy %q", c.Failure)
+	}
+	for w := range c.Faults {
+		if w < 0 || w >= c.Workers {
+			return fmt.Errorf("emu: fault spec for unknown worker %d", w)
+		}
 	}
 	if c.Dataset.X.Cols != c.Layers[0] {
 		return fmt.Errorf("emu: dataset has %d features, model expects %d", c.Dataset.X.Cols, c.Layers[0])
@@ -105,6 +170,10 @@ type Result struct {
 	// FinalParams is worker 0's flattened parameters (for cross-policy
 	// equality checks).
 	FinalParams []float64
+	// DroppedWorkers lists workers removed under the DropWorker policy,
+	// ascending. When worker 0 is among them, the loss/accuracy fields are
+	// partial (they are recorded by worker 0).
+	DroppedWorkers []int
 }
 
 // Run executes the emulation.
@@ -112,27 +181,81 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	pullTimeout := cfg.PullTimeout
+	if pullTimeout <= 0 && cfg.faultTolerant() {
+		pullTimeout = 10 * time.Second
+	}
 
 	server := ps.NewServer(cfg.Workers)
 	serverConns := make([]net.Conn, cfg.Workers)
 	clients := make([]*ps.Client, cfg.Workers)
+	rawConns := make([]net.Conn, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
-		clients[w] = ps.NewClient(a)
+		if spec, ok := cfg.Faults[w]; ok {
+			a = spec.Wrap(a)
+		}
+		rawConns[w] = a
+		clients[w] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout})
 		serverConns[w] = b
 	}
+
+	// abort unblocks every goroutine by closing all connections; fatal
+	// records the first abort cause.
+	var fatalMu sync.Mutex
+	var fatalErr error
+	var abortOnce sync.Once
+	abort := func(cause error) {
+		fatalMu.Lock()
+		if fatalErr == nil && cause != nil {
+			fatalErr = cause
+		}
+		fatalMu.Unlock()
+		abortOnce.Do(func() {
+			for _, c := range rawConns {
+				c.Close()
+			}
+			for _, c := range serverConns {
+				c.Close()
+			}
+		})
+	}
+
+	switch cfg.Failure {
+	case DropWorker:
+		st := cfg.StragglerTimeout
+		if st <= 0 {
+			st = pullTimeout / 2
+		}
+		server.SetStragglerPolicy(st, func(iter, tensor int, missing []int) bool { return true })
+		server.OnWorkerFailure(func(w int, err error) { server.DropWorker(w) })
+	case FailFast:
+		server.OnWorkerFailure(func(w int, err error) {
+			abort(fmt.Errorf("emu: fail-fast: %w", err))
+		})
+	case WaitTimeout:
+		// No eager abort: transient faults may recover; permanent ones are
+		// bounded by the per-pull timeout and surface through the workers.
+	}
+	if cfg.Deadline > 0 {
+		watchdog := time.AfterFunc(cfg.Deadline, func() {
+			abort(fmt.Errorf("emu: run exceeded deadline %v (policy %s)", cfg.Deadline, cfg.Failure))
+		})
+		defer watchdog.Stop()
+	}
+
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- server.Serve(serverConns) }()
 
 	res := &Result{}
-	errs := make(chan error, cfg.Workers)
+	workerErrs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs <- runWorker(w, cfg, clients[w], res)
+			workerErrs[w] = runWorker(w, cfg, pullTimeout, clients[w], res)
 		}(w)
 	}
 	wg.Wait()
@@ -144,20 +267,65 @@ func Run(cfg Config) (*Result, error) {
 	for _, c := range serverConns {
 		c.Close()
 	}
-	if err := <-serveDone; err != nil {
-		return nil, fmt.Errorf("emu: parameter server: %w", err)
+	serveErr := <-serveDone
+	res.DroppedWorkers = server.Dropped()
+
+	fatalMu.Lock()
+	fatal := fatalErr
+	fatalMu.Unlock()
+	if fatal != nil {
+		return nil, fatal
 	}
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return nil, err
+	if serveErr != nil {
+		return nil, fmt.Errorf("emu: parameter server: %w", serveErr)
+	}
+	dropped := make(map[int]bool, len(res.DroppedWorkers))
+	for _, w := range res.DroppedWorkers {
+		dropped[w] = true
+	}
+	if len(res.DroppedWorkers) >= cfg.Workers {
+		return nil, fmt.Errorf("emu: every worker was dropped (policy %s)", cfg.Failure)
+	}
+	for w, err := range workerErrs {
+		if err == nil {
+			continue
 		}
+		if cfg.Failure == DropWorker && dropped[w] {
+			continue // part of the configured degradation
+		}
+		return nil, err
 	}
 	return res, nil
 }
 
+// awaitPull waits for one pull result with an optional timeout.
+func awaitPull(ch <-chan ps.PullResult, timeout time.Duration) ([]float64, error) {
+	if timeout <= 0 {
+		r, ok := <-ch
+		return pullOutcome(r, ok)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r, ok := <-ch:
+		return pullOutcome(r, ok)
+	case <-timer.C:
+		return nil, fmt.Errorf("%w after %v", ps.ErrPullTimeout, timeout)
+	}
+}
+
+func pullOutcome(r ps.PullResult, ok bool) ([]float64, error) {
+	if !ok {
+		return nil, fmt.Errorf("%w: channel closed", ps.ErrConnLost)
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r.Data, nil
+}
+
 // runWorker executes the synchronous SGD loop for one worker.
-func runWorker(w int, cfg Config, client *ps.Client, res *Result) error {
+func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.Client, res *Result) error {
 	m := nn.NewMLP(cfg.Layers, cfg.Seed)
 	nTensors := m.NumTensors()
 	shardStride := cfg.Workers * cfg.Batch
@@ -190,23 +358,24 @@ func runWorker(w int, cfg Config, client *ps.Client, res *Result) error {
 		// responses pipeline with later pushes — a tensor pushed early
 		// (Prophet/priority put tensor 0 first) completes its round trip
 		// early.
-		chans := make([]<-chan []float64, nTensors)
+		chans := make([]<-chan ps.PullResult, nTensors)
 		for _, idx := range order {
 			if err := client.Push(iter, idx, m.GradData(idx)); err != nil {
-				return fmt.Errorf("emu: worker %d push: %w", w, err)
+				return fmt.Errorf("emu: worker %d push iter %d tensor %d: %w", w, iter, idx, err)
 			}
 			ch, err := client.PullAsync(iter, idx)
 			if err != nil {
-				return fmt.Errorf("emu: worker %d pull request: %w", w, err)
+				return fmt.Errorf("emu: worker %d pull request iter %d tensor %d: %w", w, iter, idx, err)
 			}
 			chans[idx] = ch
 		}
 		// Collect in priority order: tensor 0's arrival is what would
 		// gate the next forward pass.
 		for idx := 0; idx < nTensors; idx++ {
-			agg, ok := <-chans[idx]
-			if !ok {
-				return fmt.Errorf("emu: worker %d: connection closed during pull", w)
+			agg, err := awaitPull(chans[idx], pullTimeout)
+			if err != nil {
+				return fmt.Errorf("emu: worker %d pull iter %d tensor %d (policy %s): %w",
+					w, iter, idx, cfg.Failure, err)
 			}
 			m.SetGrad(idx, agg)
 			if idx == 0 && w == 0 {
@@ -262,8 +431,18 @@ func pushOrder(policy Policy, events []genEvent, plan *core.Plan, nTensors int) 
 			}
 			break
 		}
+		// A partitioned tensor's spans can straddle two blocks, so the
+		// same gradient may appear in several units; the wire protocol
+		// pushes whole tensors, so emit each at its first occurrence —
+		// a duplicate push is a protocol error the server rejects.
+		seen := make([]bool, nTensors)
 		for _, u := range plan.Units {
-			order = append(order, u.Grads()...)
+			for _, g := range u.Grads() {
+				if !seen[g] {
+					seen[g] = true
+					order = append(order, g)
+				}
+			}
 		}
 	default: // FIFO: emission order
 		for _, e := range events {

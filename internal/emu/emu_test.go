@@ -139,6 +139,33 @@ func TestProphetPushOrderCoversAllTensors(t *testing.T) {
 	}
 }
 
+// TestProphetPartitionedTensorsPushOnce pins the cross-unit dedup in
+// pushOrder: a tensor bigger than the 64 KB partition is split into spans
+// that can straddle two plan units, but the wire protocol pushes whole
+// tensors — a repeat push is a protocol error that used to kill the run.
+func TestProphetPartitionedTensorsPushOnce(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = Prophet
+	cfg.Layers = []int{64, 256, 8} // 64x256 weight = 131 KB, partitioned
+	cfg.Dataset = nn.Blobs(256, 64, 8, 11)
+	cfg.Iterations = 3
+	cfg.BandwidthBytesPerSec = 20e6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, idx := range res.PushOrder {
+		if seen[idx] {
+			t.Fatalf("tensor %d pushed twice: %v", idx, res.PushOrder)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("push order covers %d tensors: %v", len(seen), res.PushOrder)
+	}
+}
+
 func TestTensor0RoundTripRecorded(t *testing.T) {
 	cfg := baseConfig()
 	res, err := Run(cfg)

@@ -101,6 +101,7 @@ func All() []Spec {
 		{"ext-shapes", "extension", "Prophet's benefit vs tensor-size distribution (synthetic workloads)", func(c Config) (Result, error) { return ExtShapes(c) }},
 		{"ext-transformer", "extension", "Schedulers on a BERT-base-like encoder (embedding-first)", func(c Config) (Result, error) { return ExtTransformer(c) }},
 		{"ext-allreduce", "extension", "PS+Prophet vs ring all-reduce with and without fusion", func(c Config) (Result, error) { return ExtAllReduce(c) }},
+		{"ext-fault", "Sec. 7", "Schedulers under injected link faults: straggler drop-and-renormalize vs fail-fast", func(c Config) (Result, error) { return ExtFault(c) }},
 	}
 }
 

@@ -1,0 +1,360 @@
+package ps
+
+import (
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prophet/internal/fault"
+	"prophet/internal/transport"
+)
+
+// TestCorruptResponseFailsWaiter pins the readLoop bugfix: a pull response
+// whose payload fails DecodeFloats must fail the matching waiter instead of
+// silently stranding it forever.
+func TestCorruptResponseFailsWaiter(t *testing.T) {
+	a, b := net.Pipe()
+	c := NewClient(a)
+	defer c.Close()
+	defer b.Close()
+	go func() {
+		// Act as the server: consume the pull request, answer with a
+		// 5-byte payload (not a multiple of 8).
+		if _, err := transport.ReadFrame(b); err != nil {
+			t.Error(err)
+			return
+		}
+		transport.WriteFrame(b, &transport.Frame{
+			Type: transport.PullResp, Iter: 0, Tensor: 7, Payload: []byte{1, 2, 3, 4, 5},
+		})
+	}()
+	ch, err := c.PullAsync(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		if r.Err == nil {
+			t.Fatalf("corrupt response delivered data %v, want error", r.Data)
+		}
+		if !strings.Contains(r.Err.Error(), "pull response") {
+			t.Fatalf("error %q does not describe the decode failure", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stranded: corrupt response never failed the pull")
+	}
+}
+
+// TestLatePullIsProtocolError pins the slot-GC bugfix: a pull that arrives
+// after the slot was served to every worker and garbage-collected must be
+// rejected as a protocol error, not recreate an empty slot that queues the
+// pull forever.
+func TestLatePullIsProtocolError(t *testing.T) {
+	srv := NewServer(1)
+	a, b := transport.Pipe(0, 0)
+	c := NewClient(a)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve([]net.Conn{b}) }()
+
+	if err := c.Push(0, 0, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pull(0, 0); err != nil {
+		t.Fatal(err) // first pull: served and slot GC'd
+	}
+	// The duplicate pull must fail — the server kills the connection with a
+	// protocol error, which reaches the client as a lost connection.
+	if _, err := c.Pull(0, 0); err == nil {
+		t.Fatal("late pull succeeded, want protocol error")
+	}
+	err := <-done
+	if err == nil || !strings.Contains(err.Error(), "already served") {
+		t.Fatalf("Serve = %v, want already-served protocol error", err)
+	}
+	c.Close()
+	b.Close()
+}
+
+// TestDropWorkerRenormalizesMean: dropping a silent worker completes the
+// slot over the survivors, with the mean divided by the live count.
+func TestDropWorkerRenormalizesMean(t *testing.T) {
+	srv, clients, cleanup := newCluster(t, 3)
+	defer cleanup()
+	if err := clients[0].Push(0, 0, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[2].Push(0, 0, []float64{6}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan PullResult, 2)
+	for _, w := range []int{0, 2} {
+		ch, err := clients[w].PullAsync(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { got <- <-ch }()
+	}
+	srv.DropWorker(1) // worker 1 never pushed
+	for i := 0; i < 2; i++ {
+		r := <-got
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if math.Abs(r.Data[0]-4.5) > 1e-15 {
+			t.Fatalf("mean = %v, want (3+6)/2 = 4.5", r.Data[0])
+		}
+	}
+	if !srv.IsDropped(1) || len(srv.Dropped()) != 1 {
+		t.Fatalf("dropped = %v, want [1]", srv.Dropped())
+	}
+}
+
+// TestStragglerPolicyDropsSilentWorker: with a straggler policy configured,
+// a worker that never contributes to a slot others are waiting on is
+// detected and dropped without any explicit DropWorker call.
+func TestStragglerPolicyDropsSilentWorker(t *testing.T) {
+	srv := NewServer(2)
+	conns := make([]net.Conn, 2)
+	clients := make([]*Client, 2)
+	for w := range conns {
+		a, b := transport.Pipe(0, 0)
+		conns[w] = b
+		clients[w] = NewClient(a)
+	}
+	var decided struct {
+		sync.Mutex
+		missing []int
+	}
+	srv.SetStragglerPolicy(30*time.Millisecond, func(iter, tensor int, missing []int) bool {
+		decided.Lock()
+		decided.missing = append([]int(nil), missing...)
+		decided.Unlock()
+		return true
+	})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(conns) }()
+
+	if err := clients[0].Push(3, 1, []float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := clients[0].Pull(3, 1) // parks; straggler timer fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-8) > 1e-15 {
+		t.Fatalf("renormalized mean = %v, want 8/1", got[0])
+	}
+	decided.Lock()
+	missing := decided.missing
+	decided.Unlock()
+	if len(missing) != 1 || missing[0] != 1 {
+		t.Fatalf("policy saw missing %v, want [1]", missing)
+	}
+	if !srv.IsDropped(1) {
+		t.Fatal("straggler not dropped")
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, b := range conns {
+		b.Close()
+	}
+	if err := <-done; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// TestPullTimeout: a pull whose slot never completes fails with
+// ErrPullTimeout instead of hanging.
+func TestPullTimeout(t *testing.T) {
+	srv := NewServer(2)
+	conns := make([]net.Conn, 2)
+	clients := make([]*Client, 2)
+	for w := range conns {
+		a, b := transport.Pipe(0, 0)
+		conns[w] = b
+		clients[w] = NewClientWithOptions(a, Options{PullTimeout: 40 * time.Millisecond})
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(conns) }()
+
+	clients[0].Push(0, 0, []float64{1}) // worker 1 never pushes
+	_, err := clients[0].Pull(0, 0)
+	if !errors.Is(err, ErrPullTimeout) {
+		t.Fatalf("err = %v, want ErrPullTimeout", err)
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+	for _, b := range conns {
+		b.Close()
+	}
+	if err := <-done; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// TestOnWorkerFailureSeesCorruptFrame: a corrupted push payload surfaces
+// through the per-worker failure callback and Serve's return value instead
+// of being treated as a clean shutdown.
+func TestOnWorkerFailureSeesCorruptFrame(t *testing.T) {
+	srv := NewServer(1)
+	a, b := transport.Pipe(0, 0)
+	// Flip the high byte of the 13-byte header's length prefix (offset 12):
+	// the announced payload balloons past MaxPayload and the server rejects
+	// the frame outright — a deterministic framing error.
+	fa := fault.CorruptAt(12).Wrap(a)
+	c := NewClient(fa)
+	failures := make(chan error, 1)
+	srv.OnWorkerFailure(func(w int, err error) {
+		if w != 0 {
+			t.Errorf("failure attributed to worker %d", w)
+		}
+		failures <- err
+	})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve([]net.Conn{b}) }()
+
+	// A huge corrupted length prefix makes the server reject the frame.
+	c.Push(0, 0, make([]float64, 64))
+	select {
+	case err := <-failures:
+		if err == nil {
+			t.Fatal("nil failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("corrupt frame never surfaced as a worker failure")
+	}
+	c.Close()
+	b.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Serve = nil, want worker error for corrupt frame")
+	} else {
+		var we *WorkerError
+		if !errors.As(err, &we) || we.Worker != 0 {
+			t.Fatalf("Serve = %v, want *WorkerError for worker 0", err)
+		}
+	}
+}
+
+// TestPullRetriesAcrossReconnect: a pull that loses its connection redials
+// through Options.Redial, the server re-attaches via ServeWorker, and the
+// response — whose slot survived because delivery never succeeded — lands.
+func TestPullRetriesAcrossReconnect(t *testing.T) {
+	srv := NewServer(1)
+	a, b := transport.Pipe(0, 0)
+	redials := make(chan net.Conn, 4)
+	opts := Options{
+		PullTimeout: 5 * time.Second,
+		Backoff:     time.Millisecond,
+		Redial: func() (net.Conn, error) {
+			na, nb := transport.Pipe(0, 0)
+			redials <- nb
+			go srv.ServeWorker(0, nb)
+			return na, nil
+		},
+	}
+	c := NewClientWithOptions(a, opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve([]net.Conn{b}) }()
+
+	if err := c.Push(0, 0, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the push has been aggregated, then cut the link under the
+	// client — cleanly from the server's perspective (EOF), so Serve exits
+	// with no error, the slot survives, and the pull must reconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p, _ := srv.Stats(); p == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("push never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Close()
+	got, err := c.Pull(0, 0)
+	if err != nil {
+		t.Fatalf("pull across reconnect: %v", err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("got %v, want [5]", got)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+	c.Close()
+	for {
+		select {
+		case nb := <-redials:
+			nb.Close()
+		default:
+			return
+		}
+	}
+}
+
+// TestInjectedDropSurfacesNotHangs: a connection dropped mid-frame by the
+// fault injector produces a descriptive failure on both sides — the pull
+// errors out and Serve attributes the failure — never a hang.
+func TestInjectedDropSurfacesNotHangs(t *testing.T) {
+	srv := NewServer(1)
+	a, b := transport.Pipe(0, 0)
+	// 64 floats = 512-byte payload + 13-byte header; drop mid-payload.
+	fa := fault.DropAt(100).Wrap(a)
+	c := NewClientWithOptions(fa, Options{PullTimeout: 2 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve([]net.Conn{b}) }()
+
+	if err := c.Push(0, 0, make([]float64, 64)); !errors.Is(err, fault.ErrInjectedDrop) {
+		t.Fatalf("push err = %v, want ErrInjectedDrop", err)
+	}
+	if _, err := c.Pull(0, 0); err == nil {
+		t.Fatal("pull on dropped connection succeeded")
+	}
+	err := <-done
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("Serve = %v, want *WorkerError (mid-frame cut is not a clean close)", err)
+	}
+	c.Close()
+	b.Close()
+}
+
+// TestStallDelaysButCompletes: a transient stall shorter than the pull
+// timeout delays the round trip without failing it.
+func TestStallDelaysButCompletes(t *testing.T) {
+	srv := NewServer(1)
+	a, b := transport.Pipe(0, 0)
+	const stall = 60 * time.Millisecond
+	fa := fault.StallAt(20, stall).Wrap(a) // mid-push-frame
+	c := NewClientWithOptions(fa, Options{PullTimeout: 5 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve([]net.Conn{b}) }()
+
+	start := time.Now()
+	if err := c.Push(0, 0, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Pull(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("round trip %v beat the %v stall", elapsed, stall)
+	}
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	c.Close()
+	b.Close()
+	if err := <-done; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}

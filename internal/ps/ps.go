@@ -9,15 +9,55 @@
 // order once complete, so the result is bit-identical regardless of
 // arrival order. That property lets the emulation assert that every
 // communication schedule produces exactly the same training trajectory.
+//
+// # Failure semantics
+//
+// The server distinguishes clean shutdown (EOF after the peer closes) from
+// mid-stream failures (corrupt frames, protocol violations, reset links):
+// the latter surface as *WorkerError, both through Serve's return value and
+// through the OnWorkerFailure callback. A straggler policy
+// (SetStragglerPolicy) can detect workers that never contribute to a slot
+// other workers are waiting on; DropWorker removes a worker from the
+// aggregation barrier and renormalizes the mean over the survivors, so
+// training degrades gracefully instead of hanging. The client side supports
+// pull timeouts, cancellation, and bounded reconnect-with-backoff (Options).
 package ps
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"prophet/internal/transport"
 )
+
+// ErrConnLost marks client-side errors caused by a failed connection; pulls
+// failing with it are retryable through Options.Redial.
+var ErrConnLost = errors.New("ps: connection lost")
+
+// ErrPullTimeout marks a pull that exceeded Options.PullTimeout.
+var ErrPullTimeout = errors.New("ps: pull timed out")
+
+// WorkerError attributes a server-side failure to one worker's connection.
+type WorkerError struct {
+	Worker int
+	Err    error
+}
+
+func (e *WorkerError) Error() string { return fmt.Sprintf("ps: worker %d: %v", e.Worker, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// isCleanClose reports whether a read error means the peer (or this
+// process) closed the connection in an orderly way.
+func isCleanClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe)
+}
 
 type slotKey struct {
 	iter, tensor uint32
@@ -25,11 +65,12 @@ type slotKey struct {
 
 // slot is one tensor's aggregation state for one iteration.
 type slot struct {
-	contrib [][]float64 // indexed by worker id
-	got     int
-	mean    []float64
-	waiting []pendingPull
-	served  int
+	contrib  [][]float64 // indexed by worker id
+	got      int         // live contributions received
+	mean     []float64
+	waiting  []pendingPull
+	servedBy []bool // workers that have received the aggregate
+	timer    *time.Timer
 }
 
 type pendingPull struct {
@@ -42,16 +83,27 @@ type Server struct {
 
 	mu    sync.Mutex
 	slots map[slotKey]*slot
+	// done records fully-served slots so a duplicate or late request after
+	// garbage collection is a protocol error instead of a silent hang. It
+	// grows with the number of distinct (iteration, tensor) pairs of one
+	// run — bounded by run length, like the push/pull counters.
+	done map[slotKey]bool
+	dead []bool // workers removed from the aggregation barrier
+	live int
 
 	conns   []net.Conn
 	writeMu []sync.Mutex
 
 	pushes, pulls int
 
-	// respondWG tracks in-flight asynchronous responses; asyncErr holds
-	// the first response-write failure.
+	workerErrs []error
+	onFailure  func(worker int, err error)
+
+	stragglerTimeout time.Duration
+	onStraggler      func(iter, tensor int, missing []int) bool
+
+	// respondWG tracks in-flight asynchronous responses.
 	respondWG sync.WaitGroup
-	asyncErr  error
 }
 
 // NewServer creates a server expecting the given number of workers.
@@ -60,8 +112,14 @@ func NewServer(workers int) *Server {
 		panic("ps: NewServer needs at least one worker")
 	}
 	return &Server{
-		workers: workers,
-		slots:   make(map[slotKey]*slot),
+		workers:    workers,
+		slots:      make(map[slotKey]*slot),
+		done:       make(map[slotKey]bool),
+		dead:       make([]bool, workers),
+		live:       workers,
+		conns:      make([]net.Conn, workers),
+		writeMu:    make([]sync.Mutex, workers),
+		workerErrs: make([]error, workers),
 	}
 }
 
@@ -72,42 +130,112 @@ func (s *Server) Stats() (pushes, pulls int) {
 	return s.pushes, s.pulls
 }
 
+// OnWorkerFailure registers a callback invoked when a worker's connection
+// fails mid-stream (read error, protocol violation, or response-write
+// failure). Register before Serve. The callback may call DropWorker to
+// remove the worker from the barrier; a dropped worker's error is then
+// excluded from Serve's return value.
+func (s *Server) OnWorkerFailure(fn func(worker int, err error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onFailure = fn
+}
+
+// SetStragglerPolicy arms a per-slot detection timer: when a pull has been
+// waiting for `timeout` on a slot that is still missing contributions,
+// `decide` is called with the missing worker ids; returning true drops them
+// (renormalizing the mean over the survivors). Register before Serve.
+func (s *Server) SetStragglerPolicy(timeout time.Duration, decide func(iter, tensor int, missing []int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stragglerTimeout = timeout
+	s.onStraggler = decide
+}
+
+// IsDropped reports whether worker w has been removed from the barrier.
+func (s *Server) IsDropped(w int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return w >= 0 && w < s.workers && s.dead[w]
+}
+
+// Dropped returns the ids of all dropped workers, ascending.
+func (s *Server) Dropped() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for w, d := range s.dead {
+		if d {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 // Serve handles one connection per worker (conns[i] belongs to worker i)
-// until every connection closes. It returns the first protocol error, or
-// nil on clean shutdown.
+// until every connection closes. Clean closes (EOF) mean the worker is
+// done; mid-stream failures are recorded per worker and returned joined as
+// *WorkerError values — unless the worker was dropped, in which case its
+// failure is part of the configured degradation and suppressed.
 func (s *Server) Serve(conns []net.Conn) error {
 	if len(conns) != s.workers {
 		return fmt.Errorf("ps: %d connections for %d workers", len(conns), s.workers)
 	}
-	s.conns = conns
-	s.writeMu = make([]sync.Mutex, len(conns))
-	errs := make(chan error, len(conns))
+	s.mu.Lock()
+	copy(s.conns, conns)
+	s.mu.Unlock()
 	var wg sync.WaitGroup
 	for w := range conns {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs <- s.serveWorker(w)
+			if err := s.serveConn(w, conns[w]); err != nil {
+				// Kill the connection so the worker observes the failure
+				// instead of waiting on responses that will never come.
+				conns[w].Close()
+				s.workerFailed(w, err)
+			}
 		}(w)
 	}
 	wg.Wait()
 	s.respondWG.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.asyncErr
+	s.stopTimers()
+	return s.collectErrors()
 }
 
-func (s *Server) serveWorker(w int) error {
+// ServeWorker serves a replacement connection for worker w — the server
+// half of a client reconnect. It blocks until the connection closes and
+// returns the mid-stream failure, if any.
+func (s *Server) ServeWorker(w int, conn net.Conn) error {
+	if w < 0 || w >= s.workers {
+		return fmt.Errorf("ps: no worker %d", w)
+	}
+	s.mu.Lock()
+	if s.dead[w] {
+		s.mu.Unlock()
+		return fmt.Errorf("ps: worker %d was dropped", w)
+	}
+	s.conns[w] = conn
+	s.mu.Unlock()
+	if err := s.serveConn(w, conn); err != nil {
+		conn.Close()
+		s.workerFailed(w, err)
+		return &WorkerError{Worker: w, Err: err}
+	}
+	return nil
+}
+
+func (s *Server) serveConn(w int, conn net.Conn) error {
 	for {
-		f, err := transport.ReadFrame(s.conns[w])
+		f, err := transport.ReadFrame(conn)
 		if err != nil {
-			return nil // connection closed: worker done
+			if isCleanClose(err) || s.IsDropped(w) {
+				return nil // connection closed: worker done (or dropped)
+			}
+			return fmt.Errorf("read frame: %w", err)
+		}
+		if s.IsDropped(w) {
+			return nil
 		}
 		switch f.Type {
 		case transport.Push:
@@ -119,7 +247,45 @@ func (s *Server) serveWorker(w int) error {
 				return err
 			}
 		default:
-			return fmt.Errorf("ps: worker %d sent unexpected frame type %v", w, f.Type)
+			return fmt.Errorf("unexpected frame type %v", f.Type)
+		}
+	}
+}
+
+// workerFailed records w's first failure and notifies the failure handler.
+func (s *Server) workerFailed(w int, err error) {
+	s.mu.Lock()
+	if s.workerErrs[w] == nil {
+		s.workerErrs[w] = err
+	}
+	cb := s.onFailure
+	dropped := s.dead[w]
+	s.mu.Unlock()
+	if cb != nil && !dropped {
+		cb(w, &WorkerError{Worker: w, Err: err})
+	}
+}
+
+// collectErrors joins the failures of workers that were not dropped.
+func (s *Server) collectErrors() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for w, err := range s.workerErrs {
+		if err != nil && !s.dead[w] {
+			errs = append(errs, &WorkerError{Worker: w, Err: err})
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *Server) stopTimers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sl := range s.slots {
+		if sl.timer != nil {
+			sl.timer.Stop()
+			sl.timer = nil
 		}
 	}
 }
@@ -127,7 +293,10 @@ func (s *Server) serveWorker(w int) error {
 func (s *Server) getSlot(k slotKey) *slot {
 	sl, ok := s.slots[k]
 	if !ok {
-		sl = &slot{contrib: make([][]float64, s.workers)}
+		sl = &slot{
+			contrib:  make([][]float64, s.workers),
+			servedBy: make([]bool, s.workers),
+		}
 		s.slots[k] = sl
 	}
 	return sl
@@ -136,23 +305,33 @@ func (s *Server) getSlot(k slotKey) *slot {
 func (s *Server) handlePush(w int, f *transport.Frame) error {
 	data, err := transport.DecodeFloats(f.Payload)
 	if err != nil {
-		return fmt.Errorf("ps: push from worker %d: %w", w, err)
+		return fmt.Errorf("push: %w", err)
 	}
 	k := slotKey{f.Iter, f.Tensor}
 	s.mu.Lock()
+	if s.dead[w] {
+		s.mu.Unlock()
+		return nil
+	}
 	s.pushes++
+	if s.done[k] {
+		s.mu.Unlock()
+		return fmt.Errorf("push for tensor %d of iteration %d, which was already aggregated and served", f.Tensor, f.Iter)
+	}
 	sl := s.getSlot(k)
 	if sl.mean != nil || sl.contrib[w] != nil {
 		s.mu.Unlock()
-		return fmt.Errorf("ps: worker %d pushed tensor %d twice in iteration %d", w, f.Tensor, f.Iter)
+		return fmt.Errorf("pushed tensor %d twice in iteration %d", f.Tensor, f.Iter)
 	}
 	sl.contrib[w] = data
 	sl.got++
 	var flush []pendingPull
-	if sl.got == s.workers {
-		sl.aggregate(s.workers)
-		flush = sl.waiting
-		sl.waiting = nil
+	if sl.got == s.live {
+		if err := sl.aggregate(s.dead, s.live); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		flush = s.takeWaitingLocked(sl)
 	}
 	s.mu.Unlock()
 	for _, p := range flush {
@@ -161,52 +340,89 @@ func (s *Server) handlePush(w int, f *transport.Frame) error {
 	return nil
 }
 
+// takeWaitingLocked detaches a freshly aggregated slot's parked pulls
+// (skipping dropped workers) and disarms its straggler timer.
+func (s *Server) takeWaitingLocked(sl *slot) []pendingPull {
+	if sl.timer != nil {
+		sl.timer.Stop()
+		sl.timer = nil
+	}
+	var flush []pendingPull
+	for _, p := range sl.waiting {
+		if !s.dead[p.worker] {
+			flush = append(flush, p)
+		}
+	}
+	sl.waiting = nil
+	return flush
+}
+
 // respondAsync sends a response without blocking the caller's read loop —
 // a worker's connection stays full duplex: its pushes keep flowing while a
-// large parameter response streams back.
+// large parameter response streams back. Write failures are routed through
+// the per-worker failure path rather than aborting aggregation.
 func (s *Server) respondAsync(w int, k slotKey) {
 	s.respondWG.Add(1)
 	go func() {
 		defer s.respondWG.Done()
 		if err := s.respond(w, k); err != nil {
-			s.mu.Lock()
-			if s.asyncErr == nil {
-				s.asyncErr = err
-			}
-			s.mu.Unlock()
+			s.workerFailed(w, fmt.Errorf("write pull response: %w", err))
 		}
 	}()
 }
 
-// aggregate sums contributions in worker-id order and divides by the
-// worker count (synchronous data parallelism: the mean gradient).
-func (sl *slot) aggregate(workers int) {
-	n := len(sl.contrib[0])
+// aggregate sums live contributions in worker-id order and divides by the
+// live worker count — synchronous data parallelism's mean gradient,
+// renormalized over the survivors when workers have been dropped.
+func (sl *slot) aggregate(dead []bool, live int) error {
+	n := -1
+	for w, c := range sl.contrib {
+		if dead[w] || c == nil {
+			continue
+		}
+		if n < 0 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("worker %d pushed %d elems, earlier workers pushed %d", w, len(c), n)
+		}
+	}
+	if n < 0 {
+		return fmt.Errorf("ps: aggregate with no live contributions")
+	}
 	mean := make([]float64, n)
-	for w := 0; w < workers; w++ {
-		c := sl.contrib[w]
-		if len(c) != n {
-			panic(fmt.Sprintf("ps: worker %d pushed %d elems, worker 0 pushed %d", w, len(c), n))
+	for w, c := range sl.contrib {
+		if dead[w] || c == nil {
+			continue
 		}
 		for i, v := range c {
 			mean[i] += v
 		}
 	}
-	inv := 1 / float64(workers)
+	inv := 1 / float64(live)
 	for i := range mean {
 		mean[i] *= inv
 	}
 	sl.mean = mean
 	sl.contrib = nil
+	return nil
 }
 
 func (s *Server) handlePull(w int, f *transport.Frame) error {
 	k := slotKey{f.Iter, f.Tensor}
 	s.mu.Lock()
+	if s.dead[w] {
+		s.mu.Unlock()
+		return nil
+	}
 	s.pulls++
+	if s.done[k] {
+		s.mu.Unlock()
+		return fmt.Errorf("duplicate or late pull: tensor %d of iteration %d was already served to every worker", f.Tensor, f.Iter)
+	}
 	sl := s.getSlot(k)
 	if sl.mean == nil {
 		sl.waiting = append(sl.waiting, pendingPull{worker: w})
+		s.armStragglerLocked(k, sl)
 		s.mu.Unlock()
 		return nil
 	}
@@ -215,16 +431,116 @@ func (s *Server) handlePull(w int, f *transport.Frame) error {
 	return nil
 }
 
-// respond sends the aggregated tensor to a worker and garbage-collects the
-// slot once every worker has received it.
+// armStragglerLocked starts a slot's straggler-detection timer on the first
+// parked pull (no-op unless SetStragglerPolicy configured one).
+func (s *Server) armStragglerLocked(k slotKey, sl *slot) {
+	if s.stragglerTimeout <= 0 || s.onStraggler == nil || sl.timer != nil {
+		return
+	}
+	sl.timer = time.AfterFunc(s.stragglerTimeout, func() { s.stragglerFire(k) })
+}
+
+func (s *Server) stragglerFire(k slotKey) {
+	s.mu.Lock()
+	sl, ok := s.slots[k]
+	cb := s.onStraggler
+	if !ok || sl.mean != nil || cb == nil {
+		s.mu.Unlock()
+		return
+	}
+	var missing []int
+	for w := 0; w < s.workers; w++ {
+		if !s.dead[w] && sl.contrib[w] == nil {
+			missing = append(missing, w)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) == 0 || len(missing) >= s.workers {
+		return
+	}
+	if cb(int(k.iter), int(k.tensor), missing) {
+		for _, w := range missing {
+			s.DropWorker(w)
+		}
+	}
+}
+
+// DropWorker removes worker w from the aggregation barrier: slots waiting
+// only on w aggregate immediately over the survivors (the mean is
+// renormalized), w's connection is closed, and w's subsequent failures are
+// suppressed from Serve's result. Dropping is idempotent.
+func (s *Server) DropWorker(w int) {
+	s.mu.Lock()
+	if w < 0 || w >= s.workers || s.dead[w] {
+		s.mu.Unlock()
+		return
+	}
+	s.dead[w] = true
+	s.live--
+	conn := s.conns[w]
+	type flushItem struct {
+		k  slotKey
+		ps []pendingPull
+	}
+	var flush []flushItem
+	if s.live > 0 {
+		for k, sl := range s.slots {
+			if sl.mean == nil {
+				if sl.contrib[w] != nil {
+					sl.contrib[w] = nil
+					sl.got--
+				}
+				if sl.got == s.live {
+					if err := sl.aggregate(s.dead, s.live); err != nil {
+						continue
+					}
+					flush = append(flush, flushItem{k, s.takeWaitingLocked(sl)})
+				}
+			} else if s.allServedLocked(sl) {
+				// w may have been the only worker not yet served.
+				if sl.timer != nil {
+					sl.timer.Stop()
+					sl.timer = nil
+				}
+				delete(s.slots, k)
+				s.done[k] = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, fi := range flush {
+		for _, p := range fi.ps {
+			s.respondAsync(p.worker, fi.k)
+		}
+	}
+}
+
+// allServedLocked reports whether every live worker has received the slot.
+func (s *Server) allServedLocked(sl *slot) bool {
+	for w := 0; w < s.workers; w++ {
+		if !s.dead[w] && !sl.servedBy[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// respond sends the aggregated tensor to a worker; the slot is marked
+// served — and garbage-collected once every live worker has it — only
+// after the write succeeds, so a failed delivery can be retried by a
+// reconnecting client.
 func (s *Server) respond(w int, k slotKey) error {
 	s.mu.Lock()
-	sl := s.slots[k]
-	mean := sl.mean
-	sl.served++
-	if sl.served == s.workers {
-		delete(s.slots, k)
+	sl, ok := s.slots[k]
+	if !ok || sl.mean == nil || s.dead[w] {
+		s.mu.Unlock()
+		return nil
 	}
+	mean := sl.mean
+	conn := s.conns[w]
 	s.mu.Unlock()
 
 	frame := &transport.Frame{
@@ -234,64 +550,120 @@ func (s *Server) respond(w int, k slotKey) error {
 		Payload: transport.EncodeFloats(mean),
 	}
 	s.writeMu[w].Lock()
-	defer s.writeMu[w].Unlock()
-	return transport.WriteFrame(s.conns[w], frame)
+	err := transport.WriteFrame(conn, frame)
+	s.writeMu[w].Unlock()
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if sl, ok := s.slots[k]; ok {
+		sl.servedBy[w] = true
+		if s.allServedLocked(sl) {
+			if sl.timer != nil {
+				sl.timer.Stop()
+				sl.timer = nil
+			}
+			delete(s.slots, k)
+			s.done[k] = true
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// PullResult is one pull's outcome: the aggregated tensor, or the error
+// that prevented it (a decode failure on the response, a lost connection).
+type PullResult struct {
+	Data []float64
+	Err  error
+}
+
+// Options configures a client's failure handling. The zero value behaves
+// like the original client: no timeouts, no reconnects.
+type Options struct {
+	// PullTimeout bounds how long each Pull waits for its response
+	// (0 = wait forever).
+	PullTimeout time.Duration
+	// Redial reopens a connection to the server after a failure; nil
+	// disables reconnecting. The server half must be re-attached with
+	// Server.ServeWorker.
+	Redial func() (net.Conn, error)
+	// MaxRetries bounds reconnect attempts per pull (default 3 when Redial
+	// is set).
+	MaxRetries int
+	// Backoff is the initial retry backoff, doubled per attempt and capped
+	// at one second (default 10ms).
+	Backoff time.Duration
 }
 
 // Client is a worker's connection to the parameter server.
 type Client struct {
-	conn net.Conn
+	opts Options
 
-	writeMu sync.Mutex
+	writeMu sync.Mutex // serializes frame writes
+	reconMu sync.Mutex // serializes reconnect attempts
 
 	mu      sync.Mutex
-	pending map[slotKey]chan []float64
+	conn    net.Conn
+	gen     int // bumped on every reconnect
+	pending map[slotKey]chan PullResult
 	readErr error
+	closed  bool
 	done    chan struct{}
 }
 
 // NewClient wraps a connection and starts its response reader.
-func NewClient(conn net.Conn) *Client {
+func NewClient(conn net.Conn) *Client { return NewClientWithOptions(conn, Options{}) }
+
+// NewClientWithOptions wraps a connection with explicit failure handling.
+func NewClientWithOptions(conn net.Conn, opts Options) *Client {
 	c := &Client{
+		opts:    opts,
 		conn:    conn,
-		pending: make(map[slotKey]chan []float64),
+		pending: make(map[slotKey]chan PullResult),
 		done:    make(chan struct{}),
 	}
-	go c.readLoop()
+	go c.readLoop(conn, c.done)
 	return c
 }
 
-func (c *Client) readLoop() {
-	defer close(c.done)
+func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
+	defer close(done)
 	for {
-		f, err := transport.ReadFrame(c.conn)
+		f, err := transport.ReadFrame(conn)
 		if err != nil {
+			lost := fmt.Errorf("%w: %v", ErrConnLost, err)
 			c.mu.Lock()
-			c.readErr = err
+			c.readErr = lost
 			for _, ch := range c.pending {
-				close(ch)
+				ch <- PullResult{Err: lost}
 			}
-			c.pending = nil
+			c.pending = make(map[slotKey]chan PullResult)
 			c.mu.Unlock()
 			return
 		}
 		if f.Type != transport.PullResp {
 			continue
 		}
-		data, err := transport.DecodeFloats(f.Payload)
-		if err != nil {
-			continue
-		}
 		k := slotKey{f.Iter, f.Tensor}
+		data, derr := transport.DecodeFloats(f.Payload)
 		c.mu.Lock()
 		ch, ok := c.pending[k]
 		if ok {
 			delete(c.pending, k)
 		}
 		c.mu.Unlock()
-		if ok {
-			ch <- data
+		if !ok {
+			continue
 		}
+		if derr != nil {
+			// A corrupt response payload must fail the matching pull, not
+			// strand it: the waiter would otherwise block forever.
+			ch <- PullResult{Err: fmt.Errorf("ps: pull response for iter %d tensor %d: %w", f.Iter, f.Tensor, derr)}
+			continue
+		}
+		ch <- PullResult{Data: data}
 	}
 }
 
@@ -303,62 +675,185 @@ func (c *Client) Push(iter, tensor int, data []float64) error {
 		Tensor:  uint32(tensor),
 		Payload: transport.EncodeFloats(data),
 	}
+	return c.writeFrame(f)
+}
+
+func (c *Client) writeFrame(f *transport.Frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return transport.WriteFrame(c.conn, f)
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	return transport.WriteFrame(conn, f)
+}
+
+// register reserves a pending-pull channel for k and reports the current
+// connection generation (for reconnect deduplication).
+func (c *Client) register(k slotKey) (chan PullResult, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, net.ErrClosed
+	}
+	if c.readErr != nil {
+		return nil, c.gen, c.readErr
+	}
+	if _, dup := c.pending[k]; dup {
+		return nil, 0, fmt.Errorf("ps: duplicate pull for iter %d tensor %d", k.iter, k.tensor)
+	}
+	ch := make(chan PullResult, 1)
+	c.pending[k] = ch
+	return ch, c.gen, nil
+}
+
+func (c *Client) deregister(k slotKey) {
+	c.mu.Lock()
+	delete(c.pending, k)
+	c.mu.Unlock()
 }
 
 // PullAsync sends a pull request for tensor `tensor` of iteration `iter`
-// and returns a channel that delivers the aggregated value (or closes if
-// the connection fails). The request frame is tiny, so issuing it inline
+// and returns a channel that delivers the result — the aggregated value or
+// the error that doomed it. The request frame is tiny, so issuing it inline
 // between pushes costs almost nothing and lets the response overlap later
-// pushes.
-func (c *Client) PullAsync(iter, tensor int) (<-chan []float64, error) {
+// pushes. PullAsync never reconnects; use Pull/PullCtx for retry support.
+func (c *Client) PullAsync(iter, tensor int) (<-chan PullResult, error) {
 	k := slotKey{uint32(iter), uint32(tensor)}
-	ch := make(chan []float64, 1)
-	c.mu.Lock()
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
-	}
-	if _, dup := c.pending[k]; dup {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("ps: duplicate pull for iter %d tensor %d", iter, tensor)
-	}
-	c.pending[k] = ch
-	c.mu.Unlock()
-
-	f := &transport.Frame{Type: transport.PullReq, Iter: k.iter, Tensor: k.tensor}
-	c.writeMu.Lock()
-	err := transport.WriteFrame(c.conn, f)
-	c.writeMu.Unlock()
+	ch, _, err := c.register(k)
 	if err != nil {
 		return nil, err
+	}
+	if err := c.writeFrame(&transport.Frame{Type: transport.PullReq, Iter: k.iter, Tensor: k.tensor}); err != nil {
+		c.deregister(k)
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
 	return ch, nil
 }
 
 // Pull requests tensor `tensor` of iteration `iter` and blocks until the
-// aggregated value arrives.
+// aggregated value arrives, the configured PullTimeout expires, or the
+// retry budget is exhausted.
 func (c *Client) Pull(iter, tensor int) ([]float64, error) {
-	ch, err := c.PullAsync(iter, tensor)
-	if err != nil {
-		return nil, err
+	return c.PullCtx(context.Background(), iter, tensor)
+}
+
+// PullCtx is Pull with cancellation. Connection failures are retried with
+// exponential backoff through Options.Redial, bounded by
+// Options.MaxRetries; Options.PullTimeout bounds the total wait.
+func (c *Client) PullCtx(ctx context.Context, iter, tensor int) ([]float64, error) {
+	k := slotKey{uint32(iter), uint32(tensor)}
+	var timeoutC <-chan time.Time
+	if c.opts.PullTimeout > 0 {
+		timer := time.NewTimer(c.opts.PullTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
 	}
-	data, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
+	maxRetries := c.opts.MaxRetries
+	if maxRetries == 0 && c.opts.Redial != nil {
+		maxRetries = 3
+	}
+	backoff := c.opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	attempt := 0
+	retry := func(err error, gen int) error {
+		if c.opts.Redial == nil || attempt >= maxRetries || !errors.Is(err, ErrConnLost) {
+			return err
+		}
+		attempt++
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timeoutC:
+			return fmt.Errorf("ps: pull iter %d tensor %d: %w waiting to reconnect", iter, tensor, ErrPullTimeout)
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+		if rerr := c.reconnect(gen); rerr != nil {
+			return fmt.Errorf("ps: pull iter %d tensor %d: reconnect failed: %w", iter, tensor, rerr)
+		}
+		return nil
+	}
+	for {
+		ch, gen, err := c.register(k)
+		if err == nil {
+			err = c.writeFrame(&transport.Frame{Type: transport.PullReq, Iter: k.iter, Tensor: k.tensor})
+			if err != nil {
+				c.deregister(k)
+				err = fmt.Errorf("%w: %v", ErrConnLost, err)
+			}
+		}
+		if err != nil {
+			if err = retry(err, gen); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		select {
+		case r := <-ch:
+			if r.Err == nil {
+				return r.Data, nil
+			}
+			if err := retry(r.Err, gen); err != nil {
+				return nil, err
+			}
+		case <-timeoutC:
+			c.deregister(k)
+			return nil, fmt.Errorf("ps: pull iter %d tensor %d: %w after %v", iter, tensor, ErrPullTimeout, c.opts.PullTimeout)
+		case <-ctx.Done():
+			c.deregister(k)
+			return nil, fmt.Errorf("ps: pull iter %d tensor %d: %w", iter, tensor, ctx.Err())
+		}
+	}
+}
+
+// reconnect redials the server if the failed generation is still current;
+// concurrent pulls that lost the same connection share one redial.
+func (c *Client) reconnect(gen int) error {
+	c.reconMu.Lock()
+	defer c.reconMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("ps: connection closed during pull: %w", err)
+		return net.ErrClosed
 	}
-	return data, nil
+	if c.gen != gen {
+		c.mu.Unlock()
+		return nil // another pull already reconnected
+	}
+	old, oldDone := c.conn, c.done
+	c.mu.Unlock()
+	old.Close()
+	<-oldDone
+	conn, err := c.opts.Redial()
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.conn = conn
+	c.gen++
+	c.readErr = nil
+	c.done = done
+	c.mu.Unlock()
+	go c.readLoop(conn, done)
+	return nil
 }
 
 // Close shuts down the connection and waits for the reader to exit.
 func (c *Client) Close() error {
-	err := c.conn.Close()
-	<-c.done
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn, done := c.conn, c.done
+	c.mu.Unlock()
+	err := conn.Close()
+	<-done
 	return err
 }

@@ -6,7 +6,9 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -101,6 +103,78 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	return f, nil
 }
 
+// ReadFrameTimeout reads one frame from c, failing with a timeout error if
+// the frame has not fully arrived within d (0 or negative = no deadline).
+// The read deadline is cleared before returning.
+func ReadFrameTimeout(c net.Conn, d time.Duration) (*Frame, error) {
+	if d <= 0 {
+		return ReadFrame(c)
+	}
+	if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	f, err := ReadFrame(c)
+	if err == nil {
+		c.SetReadDeadline(time.Time{})
+	}
+	return f, err
+}
+
+// WriteFrameTimeout writes one frame to c under a write deadline (0 or
+// negative = no deadline). Note that rate-shaped Conns pay their limiter
+// sleep before the underlying write; the deadline bounds only the write
+// itself (a stalled peer), not the shaping delay.
+func WriteFrameTimeout(c net.Conn, f *Frame, d time.Duration) error {
+	if d <= 0 {
+		return WriteFrame(c, f)
+	}
+	if err := c.SetWriteDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	err := WriteFrame(c, f)
+	if err == nil {
+		c.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+// ReadFrameCtx reads one frame from c, honoring ctx cancellation and
+// deadline: cancelation interrupts an in-flight read by poking the
+// connection's read deadline into the past.
+func ReadFrameCtx(ctx context.Context, c net.Conn) (*Frame, error) {
+	if ctx.Done() == nil {
+		return ReadFrame(c)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.SetReadDeadline(time.Now()) // interrupt the blocked read
+		case <-stop:
+		}
+	}()
+	f, err := ReadFrame(c)
+	close(stop)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	c.SetReadDeadline(time.Time{})
+	return f, nil
+}
+
+// IsTimeout reports whether err is a deadline-expiry error from the frame
+// I/O helpers.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // EncodeFloats packs xs as little-endian float64 bytes.
 func EncodeFloats(xs []float64) []byte {
 	out := make([]byte, 8*len(xs))
@@ -134,10 +208,12 @@ type Limiter struct {
 }
 
 // NewLimiter creates a limiter at `bytesPerSec` with the given burst
-// capacity (bytes sent back-to-back before shaping kicks in).
+// capacity (bytes sent back-to-back before shaping kicks in). The burst
+// must be at least one byte: Wait admits oversized requests in burst-sized
+// installments, so a sub-byte burst could never make progress.
 func NewLimiter(bytesPerSec, burst float64) *Limiter {
-	if bytesPerSec <= 0 || burst <= 0 {
-		panic("transport: limiter needs positive rate and burst")
+	if bytesPerSec <= 0 || burst < 1 {
+		panic("transport: limiter needs positive rate and a burst of at least 1 byte")
 	}
 	return &Limiter{
 		rate:   bytesPerSec,
@@ -158,6 +234,9 @@ func (l *Limiter) Wait(n int) {
 		chunk := n
 		if float64(chunk) > l.burst {
 			chunk = int(l.burst)
+			if chunk < 1 {
+				chunk = 1 // fractional burst: still admit a whole byte
+			}
 		}
 		l.waitChunk(chunk)
 		n -= chunk

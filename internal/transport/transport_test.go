@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"math"
 	"net"
@@ -213,4 +215,123 @@ func TestLimiterConcurrentUse(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestLimiterSubByteBurstRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for burst < 1 byte")
+		}
+	}()
+	NewLimiter(1e6, 0.5)
+}
+
+func TestLimiterWaitFractionalBurstTerminates(t *testing.T) {
+	// Regression: chunk = int(burst) truncated a sub-byte burst to 0, so
+	// Wait never decremented n and spun forever. The clamp admits one byte
+	// per installment. Construct the pathological limiter directly — the
+	// constructor now rejects it.
+	l := &Limiter{rate: 1e6, burst: 0.25, last: time.Now(), sleep: func(time.Duration) {}}
+	done := make(chan struct{})
+	go func() {
+		l.Wait(10)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait with fractional burst never terminated")
+	}
+}
+
+func TestReadFrameTimeoutExpires(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	_, err := ReadFrameTimeout(a, 30*time.Millisecond)
+	if err == nil {
+		t.Fatal("read with no writer succeeded")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout read blocked far past its deadline")
+	}
+}
+
+func TestReadFrameTimeoutDeliversAndClearsDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go WriteFrame(b, &Frame{Type: Push, Iter: 1, Tensor: 2, Payload: []byte{9}})
+	f, err := ReadFrameTimeout(a, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Iter != 1 || f.Tensor != 2 || len(f.Payload) != 1 {
+		t.Fatalf("frame = %+v", f)
+	}
+	// Deadline must be cleared: a later undeadlined read blocks instead of
+	// failing instantly with the stale deadline.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ReadFrame(a)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("follow-up read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestWriteFrameTimeoutExpires(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	// No reader: the synchronous pipe blocks the write until the deadline.
+	err := WriteFrameTimeout(a, &Frame{Type: Push, Payload: make([]byte, 64)}, 30*time.Millisecond)
+	if !IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestReadFrameCtxCancelInterruptsBlockedRead(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ReadFrameCtx(ctx, a)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read block
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation never interrupted the read")
+	}
+}
+
+func TestReadFrameCtxDelivers(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go WriteFrame(b, &Frame{Type: PullReq, Iter: 3, Tensor: 4})
+	f, err := ReadFrameCtx(ctx, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != PullReq || f.Iter != 3 || f.Tensor != 4 {
+		t.Fatalf("frame = %+v", f)
+	}
 }
