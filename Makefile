@@ -5,7 +5,10 @@ GO ?= go
 # Packages with real goroutine concurrency (live PS path + fault layer).
 RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/tensor ./internal/fault
 
-.PHONY: check tier1 build vet test race bench
+# Native fuzz targets and their packages (go runs one target per invocation).
+FUZZTIME ?= 10s
+
+.PHONY: check tier1 build vet test race bench fuzz
 
 check: tier1 race
 
@@ -23,5 +26,14 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# Reproducible single-shot benchmark pass; see README for regenerating
+# bench_results.txt.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -count=1 -run '^$$' ./...
+
+# Short fixed-budget fuzzing smoke: each target gets $(FUZZTIME).
+fuzz:
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzReadFrameFaultStream$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeFloats$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ps -run '^$$' -fuzz '^FuzzServeConn$$' -fuzztime $(FUZZTIME)

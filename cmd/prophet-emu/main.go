@@ -16,6 +16,7 @@ import (
 
 	"prophet/internal/emu"
 	"prophet/internal/nn"
+	"prophet/internal/shard"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 		batch     = flag.Int("batch", 64, "per-worker batch size")
 		hidden    = flag.Int("hidden", 128, "hidden layer width")
 		seed      = flag.Uint64("seed", 21, "seed")
+		shards    = flag.Int("shards", 1, "parameter server shards (key-sharded multi-PS)")
+		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
 	)
 	flag.Parse()
 
@@ -41,14 +44,16 @@ func main() {
 		Policy:               emu.Policy(*policy),
 		BandwidthBytesPerSec: *bandwidth,
 		Seed:                 *seed,
+		Shards:               *shards,
+		ShardPlacement:       shard.Placement(*placement),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("policy %s: %d workers, %d iterations, %.1f MB/s links\n",
-		*policy, *workers, *iters, *bandwidth/1e6)
+	fmt.Printf("policy %s: %d workers, %d iterations, %.1f MB/s links, %d PS shard(s)\n",
+		*policy, *workers, *iters, *bandwidth/1e6, *shards)
 	fmt.Printf("  loss %.4f → %.4f, accuracy %.1f%%\n",
 		res.Losses[0], res.Losses[len(res.Losses)-1], 100*res.FinalAccuracy)
 	var rtt float64

@@ -16,6 +16,7 @@ import (
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/profiler"
+	"prophet/internal/shard"
 	"prophet/internal/stepwise"
 )
 
@@ -30,6 +31,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		partition = flag.Float64("partition", 4, "P3 partition size in MB")
 		credit    = flag.Float64("credit", 4, "ByteScheduler credit in MB")
+		shards    = flag.Int("shards", 1, "parameter server shards (key-sharded multi-PS)")
+		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
+		splitNIC  = flag.Bool("split-nic", false, "scale each shard link to 1/shards of the bandwidth (one NIC split across shards) instead of full speed per shard")
 	)
 	flag.Parse()
 
@@ -69,18 +73,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := cluster.Run(cluster.Config{
-		Model:   wire,
-		Batch:   *batch,
-		Workers: *workers,
-		Agg:     agg,
-		Uplink: func(int) netsim.LinkConfig {
-			return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
-		},
-		Scheduler:  factory,
-		Iterations: *iters,
-		Seed:       *seed,
-	})
+	uplink := func(int) netsim.LinkConfig {
+		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
+	}
+	cfg := cluster.Config{
+		Model:          wire,
+		Batch:          *batch,
+		Workers:        *workers,
+		Agg:            agg,
+		Uplink:         uplink,
+		Scheduler:      factory,
+		Iterations:     *iters,
+		Seed:           *seed,
+		PSShards:       *shards,
+		ShardPlacement: shard.Placement(*placement),
+	}
+	if *splitNIC && *shards > 1 {
+		cfg.ShardUplink = func(w, _ int) netsim.LinkConfig {
+			lc := uplink(w)
+			lc.Trace = netsim.Scale(lc.Trace, 1/float64(*shards))
+			return lc
+		}
+		cfg.ShardDownlink = cfg.ShardUplink
+	}
+	res, err := cluster.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -92,6 +108,14 @@ func main() {
 	}
 	fmt.Printf("%s on %s: batch %d, %d workers, %.0f Mbps/worker\n",
 		res.SchedulerName, base.Name, *batch, *workers, *bandwidth)
+	if res.Shards > 1 {
+		mode := "full-speed shard links"
+		if *splitNIC {
+			mode = "NIC split across shards"
+		}
+		fmt.Printf("  PS shards:       %7d (%s placement, %s; load imbalance %.3f)\n",
+			res.Shards, *placement, mode, res.ShardMap.Imbalance())
+	}
 	fmt.Printf("  training rate:   %8.2f samples/s per worker (%8.2f aggregate)\n",
 		res.Rate(warmup), res.ClusterRate(warmup))
 	fmt.Printf("  GPU utilization: %7.1f%%\n", 100*res.GPUUtil(0, warmup))

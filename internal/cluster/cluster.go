@@ -22,11 +22,13 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"prophet/internal/metrics"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/schedule"
+	"prophet/internal/shard"
 	"prophet/internal/sim"
 	"prophet/internal/stepwise"
 )
@@ -45,6 +47,22 @@ type Config struct {
 	// Uplink and Downlink give each worker's link configuration. If nil,
 	// netsim.DefaultLinkConfig(Const(1.25 GB/s)) (10 Gbps) is used.
 	Uplink, Downlink func(worker int) netsim.LinkConfig
+	// PSShards partitions gradients (keys) across that many parameter-
+	// server shard instances, each behind its own uplink/downlink pair per
+	// worker (0 or 1 = the single PS of the paper's testbed). A block's
+	// gradients may ship in parallel on different shard links, but no
+	// shard starts a lower-priority message while a higher-priority one
+	// still has unscheduled bytes — the scheduler's global priority order
+	// is preserved across shards.
+	PSShards int
+	// ShardPlacement selects the key→shard map (default shard.RoundRobin).
+	ShardPlacement shard.Placement
+	// ShardUplink and ShardDownlink give the per-shard link configuration.
+	// If nil, every shard of worker w uses Uplink(w)/Downlink(w) — i.e.
+	// each shard link runs at the full single-PS speed, scaling aggregate
+	// bandwidth with the shard count. Pass netsim.Scale(trace, 1/N) links
+	// to model splitting one NIC across N shards instead.
+	ShardUplink, ShardDownlink func(worker, s int) netsim.LinkConfig
 	// Scheduler builds the strategy instance for a worker. The uplink is
 	// provided so strategies can attach bandwidth monitors.
 	Scheduler func(worker int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler
@@ -158,6 +176,21 @@ func (c *Config) setDefaults() error {
 	if c.Downlink == nil {
 		c.Downlink = c.Uplink
 	}
+	if c.PSShards == 0 {
+		c.PSShards = 1
+	}
+	if c.PSShards < 0 {
+		return fmt.Errorf("cluster: negative PSShards")
+	}
+	if c.ShardPlacement == "" {
+		c.ShardPlacement = shard.RoundRobin
+	}
+	if c.ShardUplink == nil {
+		c.ShardUplink = func(w, _ int) netsim.LinkConfig { return c.Uplink(w) }
+	}
+	if c.ShardDownlink == nil {
+		c.ShardDownlink = func(w, _ int) netsim.LinkConfig { return c.Downlink(w) }
+	}
 	switch {
 	case c.Jitter == 0:
 		c.Jitter = 0.02
@@ -196,8 +229,16 @@ type Result struct {
 	Iters metrics.IterationLog
 	// GPU[w] records worker w's compute-busy intervals.
 	GPU []*metrics.IntervalSeries
-	// Up[w] and Down[w] record per-link payload transfers.
+	// Up[w] and Down[w] record per-link payload transfers, aggregated
+	// across shards.
 	Up, Down []*metrics.RateSeries
+	// Shards echoes the PS shard count, and ShardMap the key→shard
+	// assignment used.
+	Shards   int
+	ShardMap *shard.Map
+	// ShardUp[w][s] and ShardDown[w][s] record worker w's per-shard link
+	// transfers (equal to Up/Down when Shards is 1).
+	ShardUp, ShardDown [][]*metrics.RateSeries
 	// Transfers is the worker-0 per-gradient push log (LogTransfers).
 	Transfers *metrics.TransferLog
 	// UpRecords and DownRecords are per-worker per-message link traces
@@ -248,13 +289,20 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	eng := sim.New()
-	ps := newParamServer(cfg.Workers, cfg.Model.NumGradients(), gradSizes(cfg.Model))
+	sizes := gradSizes(cfg.Model)
+	smap, err := shard.New(sizes, cfg.PSShards, cfg.ShardPlacement)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	ps := newParamServer(cfg.Workers, cfg.Model.NumGradients(), sizes)
 	ps.asp = cfg.ASP
 	ps.dead = make([]bool, cfg.Workers)
 
 	res := &Result{
-		Batch:   cfg.Batch,
-		Workers: cfg.Workers,
+		Batch:    cfg.Batch,
+		Workers:  cfg.Workers,
+		Shards:   smap.Shards(),
+		ShardMap: smap,
 	}
 	if cfg.LogTransfers {
 		res.Transfers = &metrics.TransferLog{}
@@ -262,7 +310,7 @@ func Run(cfg Config) (*Result, error) {
 
 	workers := make([]*worker, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		workers[w] = newWorker(w, eng, &cfg, ps, res)
+		workers[w] = newWorker(w, eng, &cfg, ps, smap, res)
 	}
 	ps.workersRef = workers
 	res.SchedulerName = workers[0].sched.Name()
@@ -306,13 +354,35 @@ func Run(cfg Config) (*Result, error) {
 		res.GPU = append(res.GPU, &w.gpu)
 		res.Up = append(res.Up, w.upRate)
 		res.Down = append(res.Down, w.downRate)
+		res.ShardUp = append(res.ShardUp, w.upRateSh)
+		res.ShardDown = append(res.ShardDown, w.downRateSh)
 		if cfg.RecordLinks {
-			res.UpRecords = append(res.UpRecords, w.up.Records())
-			res.DownRecords = append(res.DownRecords, w.down.Records())
+			res.UpRecords = append(res.UpRecords, mergeRecords(w.up))
+			res.DownRecords = append(res.DownRecords, mergeRecords(w.down))
 		}
 	}
 	res.Iters = workers[0].iterLog
 	return res, nil
+}
+
+// mergeRecords interleaves the per-shard link records of one direction
+// into a single start-ordered trace, so Result.UpRecords/DownRecords keep
+// their single-link shape regardless of the shard count.
+func mergeRecords(links []*netsim.Link) []netsim.TransferRecord {
+	if len(links) == 1 {
+		return links[0].Records()
+	}
+	var out []netsim.TransferRecord
+	for _, l := range links {
+		out = append(out, l.Records()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
 }
 
 func gradSizes(m *model.Model) []float64 {

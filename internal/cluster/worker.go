@@ -6,6 +6,7 @@ import (
 	"prophet/internal/metrics"
 	"prophet/internal/netsim"
 	"prophet/internal/schedule"
+	"prophet/internal/shard"
 	"prophet/internal/sim"
 )
 
@@ -32,22 +33,34 @@ func (p phase) String() string {
 }
 
 // worker simulates one training node: a GPU executing forward/backward
-// segments, an uplink pushing gradients as directed by its scheduler, and a
-// downlink pulling aggregated parameters.
+// segments, one uplink per PS shard pushing gradients as directed by its
+// scheduler, and one downlink per shard pulling aggregated parameters.
+//
+// With a single shard the worker behaves exactly as the paper's testbed:
+// one serial uplink, one serial downlink. With PSShards > 1 the scheduler
+// still emits one message at a time in its global priority order; each
+// message is split by the key→shard map into per-shard sub-messages that
+// ship in parallel on their shard links, and the next message is fetched
+// only once every sub-message of the current one has started its transfer.
+// That is the cross-shard priority invariant: no shard starts a
+// lower-priority message while a higher-priority one has unscheduled bytes.
 type worker struct {
-	id  int
-	eng *sim.Engine
-	cfg *Config
-	ps  *paramServer
-	res *Result
-	rng *sim.Rand
+	id   int
+	eng  *sim.Engine
+	cfg  *Config
+	ps   *paramServer
+	smap *shard.Map
+	res  *Result
+	rng  *sim.Rand
 
 	sched    schedule.Scheduler
-	up, down *netsim.Link
+	up, down []*netsim.Link
 
 	gpu       metrics.IntervalSeries
 	upRate    *metrics.RateSeries
 	downRate  *metrics.RateSeries
+	upRateSh  []*metrics.RateSeries
+	downRateSh []*metrics.RateSeries
 	iterLog   metrics.IterationLog
 	iterStart float64
 
@@ -71,12 +84,38 @@ type worker struct {
 	// Per-iteration communication state.
 	genTime     []float64 // absolute release times this iteration
 	pushStart   []float64 // first wire byte of gradient's push
-	pushedSoFar []float64 // cumulative bytes handed to the uplink per gradient
+	pushedSoFar []float64 // cumulative bytes handed to the uplinks per gradient
 	pulledBytes []float64
 	pulled      []bool
 
-	pullQ   []*pullMsg
+	// upQ[s] queues shard s's not-yet-started sub-messages, in scheduler
+	// emission order. All queues empty ⟺ every fetched message's bytes
+	// are scheduled, which is the fetch gate for the next message.
+	upQ [][]shardSend
+	// msgSeq numbers scheduler messages in fetch order (trace tags and
+	// the cross-shard invariant test).
+	msgSeq int
+
+	pullQ   [][]*pullMsg // per shard
 	pullSeq int
+}
+
+// sendGroup tracks one scheduler message across its per-shard sub-sends.
+type sendGroup struct {
+	msg        schedule.Message // the original message as the scheduler emitted it
+	iter       int
+	seq        int
+	total      int // sub-messages
+	started    int
+	done       int
+	firstStart float64
+}
+
+// shardSend is one queued per-shard sub-message.
+type shardSend struct {
+	msg    schedule.Message // the shard's slice of the group's message
+	group  *sendGroup
+	pieces []pullPiece // precomputed byte offsets for the mirror pulls
 }
 
 // pullMsg mirrors one completed push message back to the worker.
@@ -96,17 +135,19 @@ type pullPiece struct {
 	last       bool
 }
 
-func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, res *Result) *worker {
+func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shard.Map, res *Result) *worker {
 	n := cfg.Model.NumGradients()
+	shards := smap.Shards()
 	w := &worker{
 		id:          id,
 		eng:         eng,
 		cfg:         cfg,
 		ps:          ps,
+		smap:        smap,
 		res:         res,
 		rng:         sim.NewRand(cfg.Seed*1_000_003 + uint64(id)*7919 + 1),
-		up:          netsim.NewLink(eng, cfg.Uplink(id)),
-		down:        netsim.NewLink(eng, cfg.Downlink(id)),
+		up:          make([]*netsim.Link, shards),
+		down:        make([]*netsim.Link, shards),
 		upRate:      &metrics.RateSeries{},
 		downRate:    &metrics.RateSeries{},
 		genTime:     make([]float64, n),
@@ -115,22 +156,37 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, res *Resul
 		pulledBytes: make([]float64, n),
 		pulled:      make([]bool, n),
 		releaseAt:   make([][]int, n),
+		upQ:         make([][]shardSend, shards),
+		pullQ:       make([][]*pullMsg, shards),
 	}
 	for _, grp := range cfg.Agg.Groups {
 		low := grp[0] // groups are ascending; lowest index computes last
 		w.releaseAt[low] = append([]int(nil), grp...)
 	}
-	if cfg.RecordLinks {
-		w.up.SetRecording(true)
-		w.down.SetRecording(true)
+	for s := 0; s < shards; s++ {
+		w.up[s] = netsim.NewLink(eng, cfg.ShardUplink(id, s))
+		w.down[s] = netsim.NewLink(eng, cfg.ShardDownlink(id, s))
+		if cfg.RecordLinks {
+			w.up[s].SetRecording(true)
+			w.down[s].SetRecording(true)
+		}
+		upSh := &metrics.RateSeries{}
+		downSh := &metrics.RateSeries{}
+		w.upRateSh = append(w.upRateSh, upSh)
+		w.downRateSh = append(w.downRateSh, downSh)
+		w.up[s].ObserveTransfers(func(rec netsim.TransferRecord) {
+			w.upRate.Add(rec.Start, rec.End, rec.Bytes)
+			upSh.Add(rec.Start, rec.End, rec.Bytes)
+		})
+		w.down[s].ObserveTransfers(func(rec netsim.TransferRecord) {
+			w.downRate.Add(rec.Start, rec.End, rec.Bytes)
+			downSh.Add(rec.Start, rec.End, rec.Bytes)
+		})
 	}
-	w.up.ObserveTransfers(func(rec netsim.TransferRecord) {
-		w.upRate.Add(rec.Start, rec.End, rec.Bytes)
-	})
-	w.down.ObserveTransfers(func(rec netsim.TransferRecord) {
-		w.downRate.Add(rec.Start, rec.End, rec.Bytes)
-	})
-	w.sched = cfg.Scheduler(id, eng, w.up)
+	// The scheduler's bandwidth monitor attaches to shard 0's uplink: all
+	// shard links of a worker share one configuration in every supported
+	// setup, so shard 0 is representative.
+	w.sched = cfg.Scheduler(id, eng, w.up[0])
 	return w
 }
 
@@ -201,7 +257,12 @@ func (w *worker) startBackward() {
 		w.genTime[i] = 0
 		w.pushStart[i] = -1
 	}
-	w.pullQ = w.pullQ[:0]
+	// upQ is necessarily empty here: forward propagation only completes
+	// once every gradient of the previous iteration was pushed, which
+	// requires every queued sub-message to have been dispatched.
+	for s := range w.pullQ {
+		w.pullQ[s] = w.pullQ[s][:0]
+	}
 	w.sched.BeginIteration(w.iter)
 	w.advanceBackward()
 }
@@ -242,44 +303,117 @@ func (w *worker) finishIteration() {
 	w.startIteration()
 }
 
-// pumpUplink keeps the uplink busy while the scheduler has work.
-func (w *worker) pumpUplink() {
-	if w.up.Busy() {
-		return
-	}
-	msg, ok := w.sched.Next(w.eng.Now())
-	if !ok {
-		return
-	}
-	iter := w.commIter
-	start := w.eng.Now()
-	// Record per-gradient push starts and compute byte offsets before the
-	// transfer mutates state.
-	pieces := make([]pullPiece, 0, len(msg.Pieces))
-	for _, pc := range msg.Pieces {
-		if w.pushStart[pc.Grad] < 0 {
-			w.pushStart[pc.Grad] = start
+// uplinkQueuesEmpty reports whether every fetched message's sub-messages
+// have started their transfers.
+func (w *worker) uplinkQueuesEmpty() bool {
+	for _, q := range w.upQ {
+		if len(q) > 0 {
+			return false
 		}
-		pieces = append(pieces, pullPiece{
-			grad:  pc.Grad,
-			off:   w.pushedSoFar[pc.Grad],
-			bytes: pc.Bytes,
-			last:  pc.Last,
-		})
-		w.pushedSoFar[pc.Grad] += pc.Bytes
 	}
-	pulls := w.mirrorPulls(iter, pieces)
+	return true
+}
+
+// anyUplinkFree reports whether at least one shard uplink is idle.
+func (w *worker) anyUplinkFree() bool {
+	for _, l := range w.up {
+		if !l.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+// pumpUplink keeps the shard uplinks busy while the scheduler has work:
+// queued sub-messages are dispatched on free shard links, and a new
+// message is fetched from the scheduler only when every sub-message of
+// the previously fetched ones has started (the cross-shard priority
+// gate). With one shard this reduces exactly to the single-link behaviour:
+// fetch when the link frees, send, repeat.
+func (w *worker) pumpUplink() {
+	for {
+		for s := range w.up {
+			if !w.up[s].Busy() && len(w.upQ[s]) > 0 {
+				w.dispatch(s)
+			}
+		}
+		if !w.uplinkQueuesEmpty() || !w.anyUplinkFree() {
+			return
+		}
+		msg, ok := w.sched.Next(w.eng.Now())
+		if !ok {
+			return
+		}
+		w.enqueueMessage(msg)
+	}
+}
+
+// enqueueMessage splits a scheduler message by the key→shard map and
+// queues each sub-message on its shard. Byte offsets for the mirror pulls
+// are assigned here, in scheduler emission order, so a gradient's pieces
+// land in order regardless of when each shard link frees (a key lives on
+// exactly one shard, and per-shard queues are FIFO).
+func (w *worker) enqueueMessage(msg schedule.Message) {
+	g := &sendGroup{msg: msg, iter: w.commIter, seq: w.msgSeq}
+	w.msgSeq++
+	subs := schedule.SplitByShard(msg, len(w.up), w.smap.Of)
+	for s, sub := range subs {
+		if len(sub.Pieces) == 0 {
+			continue
+		}
+		pieces := make([]pullPiece, 0, len(sub.Pieces))
+		for _, pc := range sub.Pieces {
+			pieces = append(pieces, pullPiece{
+				grad:  pc.Grad,
+				off:   w.pushedSoFar[pc.Grad],
+				bytes: pc.Bytes,
+				last:  pc.Last,
+			})
+			w.pushedSoFar[pc.Grad] += pc.Bytes
+		}
+		g.total++
+		w.upQ[s] = append(w.upQ[s], shardSend{msg: sub, group: g, pieces: pieces})
+	}
+}
+
+// dispatch starts shard s's next queued sub-message on its uplink.
+func (w *worker) dispatch(s int) {
+	item := w.upQ[s][0]
+	w.upQ[s] = w.upQ[s][1:]
+	g := item.group
+	start := w.eng.Now()
+	if g.started == 0 {
+		g.firstStart = start
+	}
+	g.started++
+	// Record per-gradient push starts (first wire byte).
+	for _, pc := range item.pieces {
+		if w.pushStart[pc.grad] < 0 {
+			w.pushStart[pc.grad] = start
+		}
+	}
+	pulls := w.mirrorPulls(g.iter, item.pieces)
 	for _, pm := range pulls {
-		pm.stall = msg.Stall
+		pm.stall = g.msg.Stall
 	}
-	w.up.SendExtra(msg.Bytes, msg.Stall, msg.Label, func() {
+	tag := item.msg.Label
+	if len(w.up) > 1 {
+		// Structured tag for multi-shard traces and the invariant test:
+		// message fetch sequence, message priority, shard.
+		tag = fmt.Sprintf("%s#m%d.p%d.s%d", item.msg.Label, g.seq, g.msg.Priority(), s)
+	}
+	sub := item.msg
+	w.up[s].SendExtra(sub.Bytes, sub.Stall, tag, func() {
 		end := w.eng.Now()
-		w.sched.OnSent(msg, start, end)
+		g.done++
+		if g.done == g.total {
+			w.sched.OnSent(g.msg, g.firstStart, end)
+		}
 		if w.id == 0 && w.res.Transfers != nil {
-			for _, pc := range msg.Pieces {
+			for _, pc := range sub.Pieces {
 				if pc.Last {
 					w.res.Transfers.Add(metrics.TransferEntry{
-						Iteration: iter,
+						Iteration: g.iter,
 						Gradient:  pc.Grad,
 						Generated: w.genTime[pc.Grad],
 						Start:     w.pushStart[pc.Grad],
@@ -288,17 +422,18 @@ func (w *worker) pumpUplink() {
 				}
 			}
 		}
-		w.pullQ = append(w.pullQ, pulls...)
-		w.ps.onPush(w.id, iter, msg) // may unlock pulls on every worker
+		w.pullQ[s] = append(w.pullQ[s], pulls...)
+		w.ps.onPush(w.id, g.iter, sub) // may unlock pulls on every worker
 		w.pumpUplink()
 	})
 }
 
-// mirrorPulls converts a push message's pieces into one or more pull
+// mirrorPulls converts a push (sub-)message's pieces into one or more pull
 // messages, each at most PullPartition bytes: BytePS serves parameter
 // responses per partition regardless of how pushes were batched, so a
 // large pushed block pipelines back to the worker in partition-sized
-// responses that unlock forward segments as they land.
+// responses that unlock forward segments as they land. Pulls are served on
+// the shard link the pieces were pushed through.
 func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
 	var total float64
 	for _, pc := range pieces {
@@ -355,29 +490,37 @@ func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
 	return pulls
 }
 
-// pumpDownlink serves the highest-priority eligible pull when the downlink
-// is free. Eligibility: every piece's byte range has been pushed by all
-// workers (the PS has aggregated those bytes).
+// pumpDownlink serves eligible pulls on every shard downlink.
 func (w *worker) pumpDownlink() {
-	if w.down.Busy() {
+	for s := range w.down {
+		w.pumpDownlinkShard(s)
+	}
+}
+
+// pumpDownlinkShard serves the highest-priority eligible pull of shard s
+// when its downlink is free. Eligibility: every piece's byte range has
+// been pushed by all workers (the PS has aggregated those bytes).
+func (w *worker) pumpDownlinkShard(s int) {
+	if w.down[s].Busy() {
 		return
 	}
+	q := w.pullQ[s]
 	best := -1
-	for i, pm := range w.pullQ {
+	for i, pm := range q {
 		if !w.ps.covered(w.id, pm) {
 			continue
 		}
-		if best == -1 || pm.prio < w.pullQ[best].prio ||
-			(pm.prio == w.pullQ[best].prio && pm.seq < w.pullQ[best].seq) {
+		if best == -1 || pm.prio < q[best].prio ||
+			(pm.prio == q[best].prio && pm.seq < q[best].seq) {
 			best = i
 		}
 	}
 	if best == -1 {
 		return
 	}
-	pm := w.pullQ[best]
-	w.pullQ = append(w.pullQ[:best], w.pullQ[best+1:]...)
-	w.down.SendExtra(pm.bytes, pm.stall, fmt.Sprintf("pull[g%d]", pm.prio), func() {
+	pm := q[best]
+	w.pullQ[s] = append(q[:best], q[best+1:]...)
+	w.down[s].SendExtra(pm.bytes, pm.stall, fmt.Sprintf("pull[g%d]", pm.prio), func() {
 		sizes := w.ps.sizes
 		for _, pc := range pm.pieces {
 			w.pulledBytes[pc.grad] += pc.bytes
@@ -390,7 +533,7 @@ func (w *worker) pumpDownlink() {
 		}
 		w.ps.gc(pm.iter)
 		w.advanceForward() // a stalled forward segment may now proceed
-		w.pumpDownlink()
+		w.pumpDownlinkShard(s)
 	})
 }
 

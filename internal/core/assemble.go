@@ -95,6 +95,33 @@ func (p *Plan) NumBlocks() int {
 	return n
 }
 
+// Blocks flattens the plan into ordered groups of whole gradients, one
+// group per unit, deduplicated at first occurrence: a partitioned tensor
+// whose spans straddle consecutive units belongs to the earlier one. This
+// is the granularity the live emulation schedules at — its wire protocol
+// pushes whole tensors — and the unit of the cross-shard priority
+// invariant: all gradients of block k must have started transferring (on
+// whichever shard link owns each) before any gradient of block k+1 may
+// start. Units whose gradients were all claimed by earlier units vanish,
+// so every gradient appears in exactly one block and no block is empty.
+func (p *Plan) Blocks() [][]int {
+	seen := make(map[int]bool)
+	var out [][]int
+	for _, u := range p.Units {
+		var blk []int
+		for _, g := range u.Grads() {
+			if !seen[g] {
+				seen[g] = true
+				blk = append(blk, g)
+			}
+		}
+		if len(blk) > 0 {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
 // UnitOf returns the index in Units of the first unit carrying bytes of
 // gradient g, or -1.
 func (p *Plan) UnitOf(g int) int {

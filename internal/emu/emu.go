@@ -22,6 +22,7 @@
 package emu
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"prophet/internal/fault"
 	"prophet/internal/nn"
 	"prophet/internal/ps"
+	"prophet/internal/shard"
 	"prophet/internal/transport"
 )
 
@@ -89,6 +91,18 @@ type Config struct {
 	// start from identical parameters).
 	Seed uint64
 
+	// Shards runs that many parameter server instances, partitioning
+	// tensors across them by a deterministic key→shard map (0 or 1 = the
+	// single PS of the paper's testbed). Each shard gets its own
+	// rate-shaped connection per worker, so aggregate PS bandwidth scales
+	// with the shard count — the Parameter-Box/BytePS deployment shape.
+	// Push blocks are dispatched under the cross-shard priority gate: no
+	// shard starts a lower-priority block while a higher-priority one
+	// still has undispatched tensors.
+	Shards int
+	// ShardPlacement selects the key→shard map (default round-robin).
+	ShardPlacement shard.Placement
+
 	// Faults maps a worker id to a fault injection spec applied to that
 	// worker's client-side connection (see internal/fault).
 	Faults map[int]fault.Spec
@@ -144,6 +158,12 @@ func (c *Config) validate() error {
 			return fmt.Errorf("emu: fault spec for unknown worker %d", w)
 		}
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("emu: negative shard count %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.Dataset.X.Cols != c.Layers[0] {
 		return fmt.Errorf("emu: dataset has %d features, model expects %d", c.Dataset.X.Cols, c.Layers[0])
 	}
@@ -186,18 +206,40 @@ func Run(cfg Config) (*Result, error) {
 		pullTimeout = 10 * time.Second
 	}
 
-	server := ps.NewServer(cfg.Workers)
-	serverConns := make([]net.Conn, cfg.Workers)
-	clients := make([]*ps.Client, cfg.Workers)
-	rawConns := make([]net.Conn, cfg.Workers)
+	// The key→shard map is derived from the tensor sizes alone, so every
+	// worker and every shard server computes the identical assignment.
+	smap, err := shard.New(tensorSizes(cfg.Layers, cfg.Seed), cfg.Shards, cfg.ShardPlacement)
+	if err != nil {
+		return nil, fmt.Errorf("emu: %w", err)
+	}
+	shards := smap.Shards()
+
+	// One server per shard; each worker holds one rate-shaped connection
+	// per shard (each shard link runs at the full configured bandwidth, so
+	// aggregate PS ingest scales with the shard count — matching the
+	// simulator's ShardUplink default). A worker's fault spec wraps every
+	// one of its shard connections.
+	servers := make([]*ps.Server, shards)
+	serverConns := make([][]net.Conn, shards)
+	clients := make([]*ps.ShardedClient, cfg.Workers)
+	perWorker := make([][]*ps.Client, cfg.Workers)
+	var rawConns []net.Conn
+	for s := 0; s < shards; s++ {
+		servers[s] = ps.NewServer(cfg.Workers)
+		serverConns[s] = make([]net.Conn, cfg.Workers)
+	}
 	for w := 0; w < cfg.Workers; w++ {
-		a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
-		if spec, ok := cfg.Faults[w]; ok {
-			a = spec.Wrap(a)
+		perWorker[w] = make([]*ps.Client, shards)
+		for s := 0; s < shards; s++ {
+			a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
+			if spec, ok := cfg.Faults[w]; ok {
+				a = spec.Wrap(a)
+			}
+			rawConns = append(rawConns, a)
+			perWorker[w][s] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout})
+			serverConns[s][w] = b
 		}
-		rawConns[w] = a
-		clients[w] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout})
-		serverConns[w] = b
+		clients[w] = ps.NewShardedClient(perWorker[w], smap.Of)
 	}
 
 	// abort unblocks every goroutine by closing all connections; fatal
@@ -215,24 +257,43 @@ func Run(cfg Config) (*Result, error) {
 			for _, c := range rawConns {
 				c.Close()
 			}
-			for _, c := range serverConns {
-				c.Close()
+			for _, cs := range serverConns {
+				for _, c := range cs {
+					c.Close()
+				}
 			}
 		})
 	}
 
+	// dropEverywhere removes workers from every shard's barrier: a worker
+	// whose link to one shard failed cannot contribute a consistent model
+	// update, so the survivors' mean must exclude it on all shards.
+	dropEverywhere := func(ws []int) {
+		for _, srv := range servers {
+			for _, w := range ws {
+				srv.DropWorker(w)
+			}
+		}
+	}
 	switch cfg.Failure {
 	case DropWorker:
 		st := cfg.StragglerTimeout
 		if st <= 0 {
 			st = pullTimeout / 2
 		}
-		server.SetStragglerPolicy(st, func(iter, tensor int, missing []int) bool { return true })
-		server.OnWorkerFailure(func(w int, err error) { server.DropWorker(w) })
+		for _, srv := range servers {
+			srv.SetStragglerPolicy(st, func(iter, tensor int, missing []int) bool {
+				dropEverywhere(missing)
+				return true
+			})
+			srv.OnWorkerFailure(func(w int, err error) { dropEverywhere([]int{w}) })
+		}
 	case FailFast:
-		server.OnWorkerFailure(func(w int, err error) {
-			abort(fmt.Errorf("emu: fail-fast: %w", err))
-		})
+		for _, srv := range servers {
+			srv.OnWorkerFailure(func(w int, err error) {
+				abort(fmt.Errorf("emu: fail-fast: %w", err))
+			})
+		}
 	case WaitTimeout:
 		// No eager abort: transient faults may recover; permanent ones are
 		// bounded by the per-pull timeout and surface through the workers.
@@ -244,8 +305,10 @@ func Run(cfg Config) (*Result, error) {
 		defer watchdog.Stop()
 	}
 
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- server.Serve(serverConns) }()
+	serveDone := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) { serveDone <- servers[s].Serve(serverConns[s]) }(s)
+	}
 
 	res := &Result{}
 	workerErrs := make([]error, cfg.Workers)
@@ -264,11 +327,26 @@ func Run(cfg Config) (*Result, error) {
 	for _, c := range clients {
 		c.Close()
 	}
-	for _, c := range serverConns {
-		c.Close()
+	for _, cs := range serverConns {
+		for _, c := range cs {
+			c.Close()
+		}
 	}
-	serveErr := <-serveDone
-	res.DroppedWorkers = server.Dropped()
+	var serveErrs []error
+	for s := 0; s < shards; s++ {
+		serveErrs = append(serveErrs, <-serveDone)
+	}
+	serveErr := errors.Join(serveErrs...)
+	droppedSet := make(map[int]bool)
+	for _, srv := range servers {
+		for _, w := range srv.Dropped() {
+			droppedSet[w] = true
+		}
+	}
+	for w := range droppedSet {
+		res.DroppedWorkers = append(res.DroppedWorkers, w)
+	}
+	sort.Ints(res.DroppedWorkers)
 
 	fatalMu.Lock()
 	fatal := fatalErr
@@ -325,7 +403,7 @@ func pullOutcome(r ps.PullResult, ok bool) ([]float64, error) {
 }
 
 // runWorker executes the synchronous SGD loop for one worker.
-func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.Client, res *Result) error {
+func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedClient, res *Result) error {
 	m := nn.NewMLP(cfg.Layers, cfg.Seed)
 	nTensors := m.NumTensors()
 	shardStride := cfg.Workers * cfg.Batch
@@ -348,26 +426,20 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.Client, 
 			events = append(events, genEvent{idx, time.Since(bwdStart)})
 		})
 
-		order := pushOrder(cfg.Policy, events, plan, nTensors)
+		blocks := pushBlocks(cfg.Policy, events, plan, nTensors)
 		if w == 0 && iter == cfg.Iterations-1 {
-			res.PushOrder = order
+			res.PushOrder = flatten(blocks, nTensors)
 		}
 
-		// Push in the policy's order; each tensor's pull request goes out
-		// inline right after its push (the request frame is tiny), so
-		// responses pipeline with later pushes — a tensor pushed early
-		// (Prophet/priority put tensor 0 first) completes its round trip
-		// early.
+		// Push block by block in the policy's order; each tensor's pull
+		// request goes out inline right after its push (the request frame
+		// is tiny), so responses pipeline with later pushes — a tensor
+		// pushed early (Prophet/priority put tensor 0 first) completes its
+		// round trip early. A block's tensors ship in parallel on their
+		// shard links.
 		chans := make([]<-chan ps.PullResult, nTensors)
-		for _, idx := range order {
-			if err := client.Push(iter, idx, m.GradData(idx)); err != nil {
-				return fmt.Errorf("emu: worker %d push iter %d tensor %d: %w", w, iter, idx, err)
-			}
-			ch, err := client.PullAsync(iter, idx)
-			if err != nil {
-				return fmt.Errorf("emu: worker %d pull request iter %d tensor %d: %w", w, iter, idx, err)
-			}
-			chans[idx] = ch
+		if err := pushSharded(client, iter, m, blocks, chans); err != nil {
+			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
 		}
 		// Collect in priority order: tensor 0's arrival is what would
 		// gate the next forward pass.
@@ -450,6 +522,91 @@ func pushOrder(policy Policy, events []genEvent, plan *core.Plan, nTensors int) 
 		}
 	}
 	return order
+}
+
+// pushBlocks groups the iteration's pushes into priority-ordered blocks:
+// Prophet with a plan uses its assembled gradient blocks (tensors within a
+// block may ship in parallel across shard links), every other policy — and
+// Prophet's profiling iteration — degenerates to one tensor per block in
+// the policy's push order.
+func pushBlocks(policy Policy, events []genEvent, plan *core.Plan, nTensors int) [][]int {
+	if policy == Prophet && plan != nil {
+		return plan.Blocks()
+	}
+	order := pushOrder(policy, events, plan, nTensors)
+	blocks := make([][]int, len(order))
+	for i, idx := range order {
+		blocks[i] = []int{idx}
+	}
+	return blocks
+}
+
+func flatten(blocks [][]int, nTensors int) []int {
+	order := make([]int, 0, nTensors)
+	for _, b := range blocks {
+		order = append(order, b...)
+	}
+	return order
+}
+
+// pushSharded dispatches the blocks under the cross-shard priority gate.
+// One writer goroutine per shard performs the actual Push/PullAsync calls;
+// the coordinator hands a block's tensors to their shard writers over
+// unbuffered channels, so a handoff completes only when the writer has
+// accepted (started) the tensor. All of block k's tensors are therefore
+// started before any tensor of block k+1 is offered — no shard starts a
+// lower-priority block while a higher-priority one has undispatched
+// tensors — while tensors of one block flow in parallel on their shard
+// links. With a single shard this degenerates to the strict sequential
+// push-then-pull-request loop of the unsharded emulation.
+func pushSharded(client *ps.ShardedClient, iter int, m *nn.MLP, blocks [][]int, chans []<-chan ps.PullResult) error {
+	shards := client.Shards()
+	jobs := make([]chan int, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		jobs[s] = make(chan int)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for idx := range jobs[s] {
+				if errs[s] != nil {
+					continue // keep draining so the coordinator never blocks
+				}
+				if err := client.Shard(s).Push(iter, idx, m.GradData(idx)); err != nil {
+					errs[s] = fmt.Errorf("push tensor %d (shard %d): %w", idx, s, err)
+					continue
+				}
+				ch, err := client.Shard(s).PullAsync(iter, idx)
+				if err != nil {
+					errs[s] = fmt.Errorf("pull request tensor %d (shard %d): %w", idx, s, err)
+					continue
+				}
+				chans[idx] = ch // distinct idx per job: no two writers race
+			}
+		}(s)
+	}
+	for _, block := range blocks {
+		for _, idx := range block {
+			jobs[client.ShardOf(idx)] <- idx
+		}
+	}
+	for s := 0; s < shards; s++ {
+		close(jobs[s])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// tensorSizes returns the model's per-tensor byte sizes (float64 elements),
+// the input to the key→shard map.
+func tensorSizes(layers []int, seed uint64) []float64 {
+	m := nn.NewMLP(layers, seed)
+	sizes := make([]float64, 0, m.NumTensors())
+	for _, t := range m.Tensors() {
+		sizes = append(sizes, float64(8*t.Elems))
+	}
+	return sizes
 }
 
 // planFromProfile runs Algorithm 1 over measured generation times.

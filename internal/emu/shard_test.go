@@ -1,0 +1,101 @@
+package emu
+
+import (
+	"testing"
+
+	"prophet/internal/shard"
+)
+
+// TestShardedTrajectoryMatchesSinglePS is the live-path tentpole check:
+// sharding the parameter server must change only the timing of tensor
+// movement, never the math. Every policy at 2 shards must reproduce the
+// single-PS trajectory bit for bit (deterministic aggregation on each
+// shard, disjoint key sets across shards).
+func TestShardedTrajectoryMatchesSinglePS(t *testing.T) {
+	base, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{FIFO, Priority, Prophet} {
+		for _, placement := range []shard.Placement{shard.RoundRobin, shard.SizeBalanced} {
+			cfg := baseConfig()
+			cfg.Policy = p
+			cfg.Shards = 2
+			cfg.ShardPlacement = placement
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p, placement, err)
+			}
+			if len(res.Losses) != cfg.Iterations {
+				t.Fatalf("%s/%s: got %d losses, want %d", p, placement, len(res.Losses), cfg.Iterations)
+			}
+			if len(res.FinalParams) != len(base.FinalParams) {
+				t.Fatalf("%s/%s: param length mismatch", p, placement)
+			}
+			for j := range base.FinalParams {
+				if res.FinalParams[j] != base.FinalParams[j] {
+					t.Fatalf("%s/%s: sharded run diverged at param %d: %v vs %v",
+						p, placement, j, res.FinalParams[j], base.FinalParams[j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDeterministicPerSeed runs the same sharded config twice and
+// demands identical trajectories.
+func TestShardedDeterministicPerSeed(t *testing.T) {
+	run := func() *Result {
+		cfg := baseConfig()
+		cfg.Policy = Prophet
+		cfg.Shards = 2
+		cfg.ShardPlacement = shard.SizeBalanced
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for j := range a.FinalParams {
+		if a.FinalParams[j] != b.FinalParams[j] {
+			t.Fatalf("param %d differs across identical runs: %v vs %v", j, a.FinalParams[j], b.FinalParams[j])
+		}
+	}
+	for j := range a.Losses {
+		if a.Losses[j] != b.Losses[j] {
+			t.Fatalf("loss %d differs across identical runs", j)
+		}
+	}
+}
+
+func TestShardedPushOrderStillCoversAllTensors(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = Prophet
+	cfg.Shards = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for _, idx := range res.PushOrder {
+		seen[idx]++
+	}
+	nTensors := 2 * (len(cfg.Layers) - 1) // weight + bias per layer
+	if len(seen) != nTensors {
+		t.Fatalf("push order covers %d tensors, want %d (%v)", len(seen), nTensors, res.PushOrder)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("tensor %d pushed %d times", idx, n)
+		}
+	}
+}
+
+func TestNegativeShardsRejected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for negative shard count")
+	}
+}

@@ -128,6 +128,29 @@ func (p Periodic) NextChange(t sim.Time) sim.Time {
 	return cycles*p.Period + nc
 }
 
+// Scaled multiplies a base trace's bandwidth by a constant factor. Its
+// main use is shard links: splitting one PS NIC across N shard instances
+// gives each shard link Scale(base, 1/N) while preserving the base trace's
+// shape (varying-bandwidth steps, contention periods).
+type Scaled struct {
+	Base   Trace
+	Factor float64
+}
+
+// Scale wraps tr so its bandwidth is multiplied by factor at every instant.
+func Scale(tr Trace, factor float64) Trace {
+	if factor < 0 {
+		panic(fmt.Sprintf("netsim: negative trace scale %v", factor))
+	}
+	return Scaled{Base: tr, Factor: factor}
+}
+
+// At implements Trace.
+func (s Scaled) At(t sim.Time) float64 { return s.Factor * s.Base.At(t) }
+
+// NextChange implements Trace.
+func (s Scaled) NextChange(t sim.Time) sim.Time { return s.Base.NextChange(t) }
+
 // TransferTime returns how long moving `bytes` takes starting at `start`
 // under trace tr, excluding any per-message overhead, by integrating the
 // piecewise-constant rate. It returns +Inf if the trace rate is zero forever

@@ -1,0 +1,62 @@
+package ps
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"prophet/internal/transport"
+)
+
+func frameBytes(f *transport.Frame) []byte {
+	var buf bytes.Buffer
+	if err := transport.WriteFrame(&buf, f); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzServeConn feeds arbitrary byte streams to a live server connection.
+// The server must terminate (no hang) and must not panic, whatever the
+// wire carries: valid pushes, pulls for tensors never pushed, corrupted
+// headers, or mid-frame garbage.
+func FuzzServeConn(f *testing.F) {
+	push := frameBytes(&transport.Frame{Type: transport.Push, Iter: 0, Tensor: 2,
+		Payload: transport.EncodeFloats([]float64{1, -2, 3})})
+	pull := frameBytes(&transport.Frame{Type: transport.PullReq, Iter: 0, Tensor: 2})
+	f.Add(append(append([]byte(nil), push...), pull...)) // push then pull: full round
+	f.Add(pull)                                          // pull for a tensor never pushed
+	f.Add(push[:len(push)-3])                            // truncated push
+	{
+		bad := append([]byte(nil), push...)
+		bad[0] ^= 0xFF // unknown frame type
+		f.Add(bad)
+	}
+	{
+		odd := frameBytes(&transport.Frame{Type: transport.Push, Iter: 1, Tensor: 0,
+			Payload: []byte{1, 2, 3, 4, 5}}) // unaligned payload: not valid float64s
+		f.Add(odd)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := NewServer(1)
+		a, b := net.Pipe()
+		go io.Copy(io.Discard, a) // drain any responses
+		go func() {
+			a.Write(data)
+			a.Close()
+		}()
+		done := make(chan struct{})
+		go func() {
+			srv.ServeWorker(0, b)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("ServeWorker did not return after the connection closed")
+		}
+	})
+}

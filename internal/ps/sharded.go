@@ -1,0 +1,79 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ShardedClient fans a worker's pushes and pulls across several parameter
+// server shards by a deterministic key→shard map: tensor t always talks to
+// shard of(t). Every worker and every shard server derives the same map
+// from the tensor sizes alone (internal/shard), so no coordination or
+// key-routing metadata crosses the wire — exactly how MXNet KVStore and
+// BytePS range-shard keys across PS instances.
+//
+// The client adds no scheduling of its own: callers decide the push order,
+// and the cross-shard priority invariant (no shard starts a lower-priority
+// block while a higher-priority one has unscheduled bytes) is the caller's
+// to enforce — internal/emu gates block dispatch for that.
+type ShardedClient struct {
+	clients []*Client
+	of      func(tensor int) int
+}
+
+// NewShardedClient builds a sharded view over one client per shard.
+// `of` maps a tensor index to its shard and must be total over the
+// tensors pushed; out-of-range results panic at use.
+func NewShardedClient(clients []*Client, of func(tensor int) int) *ShardedClient {
+	if len(clients) == 0 {
+		panic("ps: NewShardedClient with no clients")
+	}
+	if of == nil {
+		if len(clients) > 1 {
+			panic("ps: NewShardedClient with multiple shards needs a key map")
+		}
+		of = func(int) int { return 0 }
+	}
+	return &ShardedClient{clients: clients, of: of}
+}
+
+// Shards returns the shard count.
+func (c *ShardedClient) Shards() int { return len(c.clients) }
+
+// Shard returns shard s's underlying client.
+func (c *ShardedClient) Shard(s int) *Client { return c.clients[s] }
+
+// ShardOf returns the shard that owns tensor t.
+func (c *ShardedClient) ShardOf(t int) int {
+	s := c.of(t)
+	if s < 0 || s >= len(c.clients) {
+		panic(fmt.Sprintf("ps: tensor %d maps to shard %d of %d", t, s, len(c.clients)))
+	}
+	return s
+}
+
+// Push sends a gradient tensor to its shard's server.
+func (c *ShardedClient) Push(iter, tensor int, data []float64) error {
+	return c.clients[c.ShardOf(tensor)].Push(iter, tensor, data)
+}
+
+// PullAsync requests the aggregated tensor from its shard's server.
+func (c *ShardedClient) PullAsync(iter, tensor int) (<-chan PullResult, error) {
+	return c.clients[c.ShardOf(tensor)].PullAsync(iter, tensor)
+}
+
+// Pull blocks for the aggregated tensor from its shard's server.
+func (c *ShardedClient) Pull(iter, tensor int) ([]float64, error) {
+	return c.clients[c.ShardOf(tensor)].Pull(iter, tensor)
+}
+
+// Close shuts down every shard connection, joining the errors.
+func (c *ShardedClient) Close() error {
+	var errs []error
+	for s, cl := range c.clients {
+		if err := cl.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
+		}
+	}
+	return errors.Join(errs...)
+}

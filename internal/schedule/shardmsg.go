@@ -1,0 +1,34 @@
+package schedule
+
+// SplitByShard partitions a message's pieces by the key→shard map `of`,
+// returning one sub-message per shard that carries any bytes (indexed by
+// shard; shards with no pieces get a zero-valued Message with no pieces).
+//
+// Sharding partitions whole gradients — a key lives on exactly one shard —
+// so every piece maps cleanly to one sub-message and piece order is
+// preserved within each shard. Each sub-message is a real wire message on
+// its shard's link and therefore pays the per-message overhead and the
+// sender's dispatch Stall itself; the scheduling invariant that makes the
+// split safe (no shard starts a lower-priority message while a
+// higher-priority one has unscheduled bytes) is enforced by the callers —
+// the simulated worker's per-shard queues and the live path's block-gated
+// writers.
+func SplitByShard(m Message, shards int, of func(grad int) int) []Message {
+	if shards <= 1 {
+		return []Message{m}
+	}
+	out := make([]Message, shards)
+	for _, pc := range m.Pieces {
+		s := of(pc.Grad)
+		out[s].Pieces = append(out[s].Pieces, pc)
+		out[s].Bytes += pc.Bytes
+	}
+	for s := range out {
+		if len(out[s].Pieces) == 0 {
+			continue
+		}
+		out[s].Label = m.Label
+		out[s].Stall = m.Stall
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRoundRobin(t *testing.T) {
+	sizes := []float64{10, 20, 30, 40, 50}
+	m, err := New(sizes, 2, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1, 0}
+	for k, s := range want {
+		if m.Of(k) != s {
+			t.Errorf("Of(%d) = %d, want %d", k, m.Of(k), s)
+		}
+	}
+	if got := m.Load(0); got != 90 {
+		t.Errorf("Load(0) = %v, want 90", got)
+	}
+	if got := m.Load(1); got != 60 {
+		t.Errorf("Load(1) = %v, want 60", got)
+	}
+}
+
+func TestSingleShardTrivial(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		m, err := New([]float64{1, 2, 3}, n, SizeBalanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Shards() != 1 {
+			t.Fatalf("Shards() = %d, want 1", m.Shards())
+		}
+		for k := 0; k < 3; k++ {
+			if m.Of(k) != 0 {
+				t.Errorf("shards=%d: Of(%d) = %d, want 0", n, k, m.Of(k))
+			}
+		}
+	}
+}
+
+func TestSizeBalancedBeatsRoundRobinOnSkew(t *testing.T) {
+	// VGG-like tail: a few giant tensors among many small ones, laid out
+	// so round-robin piles the giants onto one shard.
+	sizes := make([]float64, 16)
+	for i := range sizes {
+		sizes[i] = 1e4
+	}
+	sizes[0], sizes[4], sizes[8] = 4e8, 4e8, 4e8 // all ≡ 0 mod 4
+	rr, err := New(sizes, 4, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := New(sizes, 4, SizeBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Imbalance() <= sb.Imbalance() {
+		t.Errorf("expected size-balanced to beat round-robin: rr %.3f, sb %.3f",
+			rr.Imbalance(), sb.Imbalance())
+	}
+	if sb.Imbalance() > 1.5 {
+		t.Errorf("size-balanced imbalance %.3f too high for 3 giants on 4 shards", sb.Imbalance())
+	}
+}
+
+func TestDeterministicAndTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		shards := 1 + rng.Intn(8)
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = float64(1 + rng.Intn(1_000_000))
+		}
+		for _, pl := range []Placement{RoundRobin, SizeBalanced} {
+			a, err := New(sizes, shards, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(sizes, shards, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total float64
+			for k := 0; k < n; k++ {
+				if a.Of(k) != b.Of(k) {
+					t.Fatalf("%s: non-deterministic placement of key %d", pl, k)
+				}
+				if a.Of(k) < 0 || a.Of(k) >= shards {
+					t.Fatalf("%s: key %d placed on shard %d of %d", pl, k, a.Of(k), shards)
+				}
+			}
+			for s := 0; s < shards; s++ {
+				total += a.Load(s)
+				for _, k := range a.Keys(s) {
+					if a.Of(k) != s {
+						t.Fatalf("%s: Keys(%d) lists key %d owned by %d", pl, s, k, a.Of(k))
+					}
+				}
+			}
+			var want float64
+			for _, sz := range sizes {
+				want += sz
+			}
+			if total != want {
+				t.Fatalf("%s: loads sum %v, sizes sum %v", pl, total, want)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil, 2, RoundRobin); err == nil {
+		t.Error("expected error for empty sizes")
+	}
+	if _, err := New([]float64{1}, 2, Placement("bogus")); err == nil {
+		t.Error("expected error for unknown placement")
+	}
+}

@@ -68,6 +68,23 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Truncated frame: header promises more payload than follows.
+	f.Add(seed[:len(seed)-2])
+	// Header-only prefix.
+	f.Add(seed[:headerSize])
+	// Oversized length field: declares MaxPayload+1 bytes.
+	{
+		over := append([]byte(nil), seed...)
+		over[9], over[10], over[11], over[12] = 0x01, 0x00, 0x00, 0x10 // 1<<28+1 little-endian
+		f.Add(over)
+	}
+	// XOR-corrupted type and length bytes (what a flipped wire byte from
+	// the fault injector produces).
+	for _, at := range []int{0, 9, len(seed) - 1} {
+		bad := append([]byte(nil), seed...)
+		bad[at] ^= 0xFF
+		f.Add(bad)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(readerOf(data))
 		if err != nil {
