@@ -2,13 +2,14 @@
 
 GO ?= go
 
-# Packages with real goroutine concurrency (live PS path + fault layer).
-RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/tensor ./internal/fault
+# Packages with real goroutine concurrency (live PS path + fault layer,
+# profile cache, parallel sweep runner).
+RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner
 
 # Native fuzz targets and their packages (go runs one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 build vet test race bench fuzz
+.PHONY: check tier1 build vet test race bench bench-json fuzz
 
 check: tier1 race
 
@@ -30,6 +31,12 @@ race:
 # bench_results.txt.
 bench:
 	$(GO) test -bench=. -benchtime=1x -count=1 -run '^$$' ./...
+
+# Machine-readable allocation benchmarks for the simulator hot loops; the
+# committed BENCH_sim.json is the reference the README quotes.
+bench-json:
+	$(GO) test -bench='Core_Assemble|Cluster_Iteration|SchedulePingPong' -benchmem -count=1 -run '^$$' \
+		. ./internal/sim | $(GO) run ./cmd/bench2json > BENCH_sim.json
 
 # Short fixed-budget fuzzing smoke: each target gets $(FUZZTIME).
 fuzz:

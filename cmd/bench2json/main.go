@@ -1,0 +1,93 @@
+// Command bench2json converts `go test -bench -benchmem` text output on
+// stdin into a stable JSON document on stdout, so benchmark numbers can be
+// committed and diffed (see `make bench-json` and BENCH_sim.json).
+//
+// Only benchmark result lines and the `pkg:` headers that scope them are
+// consumed; everything else (ok/PASS lines, goos/goarch) is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	benches, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benches); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Bench, error) {
+	var out []Bench
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// BenchmarkName-P  N  T ns/op  [B B/op  A allocs/op]
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		b := Bench{Package: pkg}
+		// Strip the -GOMAXPROCS suffix so names stay stable across machines.
+		b.Name = f[0]
+		if i := strings.LastIndex(b.Name, "-"); i > 0 {
+			if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name = b.Name[:i]
+			}
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("iterations in %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+			return nil, fmt.Errorf("ns/op in %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("metric in %q: %w", line, err)
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}

@@ -9,15 +9,23 @@
 //	prophet-bench -list           # list experiments
 //	prophet-bench -quick          # trimmed sweeps
 //	prophet-bench -iters 20       # longer runs (steadier numbers)
+//	prophet-bench -j 8            # run experiments on 8 workers
+//
+// Output is deterministic: results are printed in registry order with
+// byte-identical content at any -j value, because every simulation owns its
+// engine and seed and results are collected by index.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"prophet/internal/experiments"
+	"prophet/internal/experiments/runner"
+	"prophet/internal/profiler"
 )
 
 func main() {
@@ -27,6 +35,7 @@ func main() {
 		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		iters = flag.Int("iters", 12, "simulated iterations per run")
 		seed  = flag.Uint64("seed", 1, "simulation seed")
+		jobs  = flag.Int("j", runner.DefaultWorkers(), "worker goroutines for experiments and their sweeps (1 = serial)")
 	)
 	flag.Parse()
 
@@ -37,7 +46,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Iterations: *iters, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Iterations: *iters, Seed: *seed, Quick: *quick, Jobs: *jobs}
 	specs := experiments.All()
 	if *only != "" {
 		spec, err := experiments.ByID(*only)
@@ -48,17 +57,51 @@ func main() {
 		specs = []experiments.Spec{spec}
 	}
 
+	// Each experiment renders into its own buffer so experiments can run
+	// concurrently while output stays in registry order. The job function
+	// never returns an error: a failure is part of the outcome, so one bad
+	// experiment does not cancel its siblings.
+	type outcome struct {
+		out bytes.Buffer
+		dur time.Duration
+		err error
+	}
+	totalStart := time.Now()
+	outcomes, _ := runner.Map(*jobs, specs, func(_ int, spec experiments.Spec) (*outcome, error) {
+		o := &outcome{}
+		start := time.Now()
+		res, err := spec.Run(cfg)
+		o.dur = time.Since(start)
+		if err != nil {
+			o.err = err
+			return o, nil
+		}
+		res.Render(&o.out)
+		return o, nil
+	})
+	total := time.Since(totalStart)
+
+	failed := 0
 	for i, spec := range specs {
 		if i > 0 {
 			fmt.Println()
 		}
-		start := time.Now()
-		res, err := spec.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.ID, err)
-			os.Exit(1)
+		o := outcomes[i]
+		if o.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", spec.ID, o.err)
+			fmt.Printf("  [%s FAILED after %.1fs]\n", spec.ID, o.dur.Seconds())
+			continue
 		}
-		res.Render(os.Stdout)
-		fmt.Printf("  [%s, %.1fs wall]\n", spec.ID, time.Since(start).Seconds())
+		os.Stdout.Write(o.out.Bytes())
+		fmt.Printf("  [%s, %.1fs wall]\n", spec.ID, o.dur.Seconds())
+	}
+
+	hits, misses := profiler.Stats()
+	fmt.Printf("\n%d experiments in %.1fs wall (-j %d); profile cache %d hits / %d misses\n",
+		len(specs), total.Seconds(), *jobs, hits, misses)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
 	}
 }

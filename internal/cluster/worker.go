@@ -56,13 +56,13 @@ type worker struct {
 	sched    schedule.Scheduler
 	up, down []*netsim.Link
 
-	gpu       metrics.IntervalSeries
-	upRate    *metrics.RateSeries
-	downRate  *metrics.RateSeries
-	upRateSh  []*metrics.RateSeries
+	gpu        metrics.IntervalSeries
+	upRate     *metrics.RateSeries
+	downRate   *metrics.RateSeries
+	upRateSh   []*metrics.RateSeries
 	downRateSh []*metrics.RateSeries
-	iterLog   metrics.IterationLog
-	iterStart float64
+	iterLog    metrics.IterationLog
+	iterStart  float64
 
 	iter      int
 	phase     phase
@@ -98,6 +98,30 @@ type worker struct {
 
 	pullQ   [][]*pullMsg // per shard
 	pullSeq int
+
+	// Zero-alloc machinery for the steady-state loop: completion callbacks
+	// are bound once (a link carries one message at a time, so per-shard
+	// in-flight state lives in slots, not closures), and message/piece
+	// containers cycle through free lists instead of the heap.
+	fwdDoneFn    func()
+	bwdDoneFn    func()
+	upDoneFn     []func() // per shard
+	downDoneFn   []func() // per shard
+	upInflight   []upSend // per shard
+	downInflight []*pullMsg
+	pmFree       []*pullMsg
+	sgFree       []*sendGroup
+	piecesFree   [][]pullPiece
+	pullsFree    [][]*pullMsg
+	pullTags     []string // "pull[gN]" labels, built on first use
+	oneSub       [1]schedule.Message
+}
+
+// upSend is the in-flight uplink state of one shard.
+type upSend struct {
+	g     *sendGroup
+	sub   schedule.Message
+	pulls []*pullMsg
 }
 
 // sendGroup tracks one scheduler message across its per-shard sub-sends.
@@ -139,25 +163,37 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shar
 	n := cfg.Model.NumGradients()
 	shards := smap.Shards()
 	w := &worker{
-		id:          id,
-		eng:         eng,
-		cfg:         cfg,
-		ps:          ps,
-		smap:        smap,
-		res:         res,
-		rng:         sim.NewRand(cfg.Seed*1_000_003 + uint64(id)*7919 + 1),
-		up:          make([]*netsim.Link, shards),
-		down:        make([]*netsim.Link, shards),
-		upRate:      &metrics.RateSeries{},
-		downRate:    &metrics.RateSeries{},
-		genTime:     make([]float64, n),
-		pushStart:   make([]float64, n),
-		pushedSoFar: make([]float64, n),
-		pulledBytes: make([]float64, n),
-		pulled:      make([]bool, n),
-		releaseAt:   make([][]int, n),
-		upQ:         make([][]shardSend, shards),
-		pullQ:       make([][]*pullMsg, shards),
+		id:           id,
+		eng:          eng,
+		cfg:          cfg,
+		ps:           ps,
+		smap:         smap,
+		res:          res,
+		rng:          sim.NewRand(cfg.Seed*1_000_003 + uint64(id)*7919 + 1),
+		up:           make([]*netsim.Link, shards),
+		down:         make([]*netsim.Link, shards),
+		upRate:       &metrics.RateSeries{},
+		downRate:     &metrics.RateSeries{},
+		genTime:      make([]float64, n),
+		pushStart:    make([]float64, n),
+		pushedSoFar:  make([]float64, n),
+		pulledBytes:  make([]float64, n),
+		pulled:       make([]bool, n),
+		releaseAt:    make([][]int, n),
+		upQ:          make([][]shardSend, shards),
+		pullQ:        make([][]*pullMsg, shards),
+		upInflight:   make([]upSend, shards),
+		downInflight: make([]*pullMsg, shards),
+		pullTags:     make([]string, n),
+	}
+	w.fwdDoneFn = w.onFwdSegDone
+	w.bwdDoneFn = w.onBwdSegDone
+	w.upDoneFn = make([]func(), shards)
+	w.downDoneFn = make([]func(), shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		w.upDoneFn[s] = func() { w.onUpDone(s) }
+		w.downDoneFn[s] = func() { w.onDownDone(s) }
 	}
 	for _, grp := range cfg.Agg.Groups {
 		low := grp[0] // groups are ascending; lowest index computes last
@@ -234,12 +270,15 @@ func (w *worker) advanceForward() {
 	w.computing = true
 	w.gpu.Start(w.eng.Now())
 	d := w.rng.Jitter(w.cfg.Model.FwdTime(w.cfg.Hardware, w.cfg.Model.Grads[seg], w.cfg.Batch), w.cfg.Jitter)
-	w.eng.Schedule(d, func() {
-		w.gpu.Stop(w.eng.Now())
-		w.computing = false
-		w.fwdSeg++
-		w.advanceForward()
-	})
+	w.eng.Schedule(d, w.fwdDoneFn)
+}
+
+// onFwdSegDone completes the forward segment scheduled by advanceForward.
+func (w *worker) onFwdSegDone() {
+	w.gpu.Stop(w.eng.Now())
+	w.computing = false
+	w.fwdSeg++
+	w.advanceForward()
 }
 
 // startBackward begins backward propagation: communication state resets,
@@ -261,6 +300,9 @@ func (w *worker) startBackward() {
 	// once every gradient of the previous iteration was pushed, which
 	// requires every queued sub-message to have been dispatched.
 	for s := range w.pullQ {
+		for _, pm := range w.pullQ[s] {
+			w.recyclePullMsg(pm)
+		}
 		w.pullQ[s] = w.pullQ[s][:0]
 	}
 	w.sched.BeginIteration(w.iter)
@@ -276,22 +318,28 @@ func (w *worker) advanceBackward() {
 	w.computing = true
 	w.gpu.Start(w.eng.Now())
 	d := w.rng.Jitter(w.cfg.Model.BwdTime(w.cfg.Hardware, w.cfg.Model.Grads[seg], w.cfg.Batch), w.cfg.Jitter)
-	w.eng.Schedule(d, func() {
-		w.gpu.Stop(w.eng.Now())
-		w.computing = false
-		// The aggregation layer releases seg's bucket if seg is its
-		// lowest-index member (the last to compute).
-		if rel := w.releaseAt[seg]; rel != nil {
-			now := w.eng.Now()
-			for _, g := range rel {
-				w.genTime[g] = now
-				w.sched.OnGenerated(g, now)
-			}
-			w.pumpUplink()
+	w.eng.Schedule(d, w.bwdDoneFn)
+}
+
+// onBwdSegDone completes the backward segment scheduled by advanceBackward.
+// w.bwdSeg is stable between schedule and fire — only this callback advances
+// it, and at most one backward compute event is ever in flight.
+func (w *worker) onBwdSegDone() {
+	seg := w.bwdSeg
+	w.gpu.Stop(w.eng.Now())
+	w.computing = false
+	// The aggregation layer releases seg's bucket if seg is its
+	// lowest-index member (the last to compute).
+	if rel := w.releaseAt[seg]; rel != nil {
+		now := w.eng.Now()
+		for _, g := range rel {
+			w.genTime[g] = now
+			w.sched.OnGenerated(g, now)
 		}
-		w.bwdSeg--
-		w.advanceBackward()
-	})
+		w.pumpUplink()
+	}
+	w.bwdSeg--
+	w.advanceBackward()
 }
 
 func (w *worker) finishIteration() {
@@ -354,14 +402,23 @@ func (w *worker) pumpUplink() {
 // land in order regardless of when each shard link frees (a key lives on
 // exactly one shard, and per-shard queues are FIFO).
 func (w *worker) enqueueMessage(msg schedule.Message) {
-	g := &sendGroup{msg: msg, iter: w.commIter, seq: w.msgSeq}
+	g := w.newSendGroup()
+	g.msg, g.iter, g.seq = msg, w.commIter, w.msgSeq
 	w.msgSeq++
-	subs := schedule.SplitByShard(msg, len(w.up), w.smap.Of)
+	var subs []schedule.Message
+	if len(w.up) == 1 {
+		// Single shard: the message ships whole; skip the split (and its
+		// slice) entirely.
+		w.oneSub[0] = msg
+		subs = w.oneSub[:]
+	} else {
+		subs = schedule.SplitByShard(msg, len(w.up), w.smap.Of)
+	}
 	for s, sub := range subs {
 		if len(sub.Pieces) == 0 {
 			continue
 		}
-		pieces := make([]pullPiece, 0, len(sub.Pieces))
+		pieces := w.newPieces()
 		for _, pc := range sub.Pieces {
 			pieces = append(pieces, pullPiece{
 				grad:  pc.Grad,
@@ -403,29 +460,45 @@ func (w *worker) dispatch(s int) {
 		tag = fmt.Sprintf("%s#m%d.p%d.s%d", item.msg.Label, g.seq, g.msg.Priority(), s)
 	}
 	sub := item.msg
-	w.up[s].SendExtra(sub.Bytes, sub.Stall, tag, func() {
-		end := w.eng.Now()
-		g.done++
-		if g.done == g.total {
-			w.sched.OnSent(g.msg, g.firstStart, end)
-		}
-		if w.id == 0 && w.res.Transfers != nil {
-			for _, pc := range sub.Pieces {
-				if pc.Last {
-					w.res.Transfers.Add(metrics.TransferEntry{
-						Iteration: g.iter,
-						Gradient:  pc.Grad,
-						Generated: w.genTime[pc.Grad],
-						Start:     w.pushStart[pc.Grad],
-						End:       end,
-					})
-				}
+	// The pieces slice is consumed by the pushStart loop and mirrorPulls
+	// above (mirrorPulls copies values); it is dead once the send starts.
+	w.recyclePieces(item.pieces)
+	w.upInflight[s] = upSend{g: g, sub: sub, pulls: pulls}
+	w.up[s].SendExtra(sub.Bytes, sub.Stall, tag, w.upDoneFn[s])
+}
+
+// onUpDone completes shard s's in-flight uplink sub-message.
+func (w *worker) onUpDone(s int) {
+	in := w.upInflight[s]
+	w.upInflight[s] = upSend{}
+	g, sub := in.g, in.sub
+	end := w.eng.Now()
+	g.done++
+	last := g.done == g.total
+	if last {
+		w.sched.OnSent(g.msg, g.firstStart, end)
+	}
+	if w.id == 0 && w.res.Transfers != nil {
+		for _, pc := range sub.Pieces {
+			if pc.Last {
+				w.res.Transfers.Add(metrics.TransferEntry{
+					Iteration: g.iter,
+					Gradient:  pc.Grad,
+					Generated: w.genTime[pc.Grad],
+					Start:     w.pushStart[pc.Grad],
+					End:       end,
+				})
 			}
 		}
-		w.pullQ[s] = append(w.pullQ[s], pulls...)
-		w.ps.onPush(w.id, g.iter, sub) // may unlock pulls on every worker
-		w.pumpUplink()
-	})
+	}
+	w.pullQ[s] = append(w.pullQ[s], in.pulls...)
+	w.recyclePulls(in.pulls)
+	iter := g.iter
+	if last {
+		w.recycleSendGroup(g)
+	}
+	w.ps.onPush(w.id, iter, sub) // may unlock pulls on every worker
+	w.pumpUplink()
 }
 
 // mirrorPulls converts a push (sub-)message's pieces into one or more pull
@@ -450,15 +523,17 @@ func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
 	// Equal-sized chunks avoid tiny remainder messages that would pay a
 	// full per-message overhead for a sliver of payload.
 	target := total / float64(chunks)
-	var pulls []*pullMsg
-	cur := &pullMsg{seq: w.pullSeq, iter: iter, prio: 1 << 30}
-	w.pullSeq++
+	pulls := w.newPulls()
+	cur := w.newPullMsg(iter)
 	flush := func() {
 		if len(cur.pieces) > 0 {
 			pulls = append(pulls, cur)
+		} else {
+			// Dropped, exactly as before pooling — the seq it consumed
+			// stays consumed, so pull ordering is bit-identical.
+			w.recyclePullMsg(cur)
 		}
-		cur = &pullMsg{seq: w.pullSeq, iter: iter, prio: 1 << 30}
-		w.pullSeq++
+		cur = w.newPullMsg(iter)
 	}
 	add := func(pc pullPiece) {
 		cur.pieces = append(cur.pieces, pc)
@@ -487,7 +562,80 @@ func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
 		}
 	}
 	flush()
+	w.recyclePullMsg(cur) // the trailing empty node flush left behind
 	return pulls
+}
+
+// Free-list helpers. Containers keep their grown capacity across reuse, so
+// the steady state allocates nothing.
+
+func (w *worker) newPullMsg(iter int) *pullMsg {
+	var pm *pullMsg
+	if n := len(w.pmFree); n > 0 {
+		pm = w.pmFree[n-1]
+		w.pmFree = w.pmFree[:n-1]
+	} else {
+		pm = &pullMsg{}
+	}
+	pm.seq, pm.iter, pm.prio, pm.bytes, pm.stall = w.pullSeq, iter, 1<<30, 0, 0
+	pm.pieces = pm.pieces[:0]
+	w.pullSeq++
+	return pm
+}
+
+func (w *worker) recyclePullMsg(pm *pullMsg) { w.pmFree = append(w.pmFree, pm) }
+
+func (w *worker) newSendGroup() *sendGroup {
+	if n := len(w.sgFree); n > 0 {
+		g := w.sgFree[n-1]
+		w.sgFree = w.sgFree[:n-1]
+		*g = sendGroup{}
+		return g
+	}
+	return &sendGroup{}
+}
+
+func (w *worker) recycleSendGroup(g *sendGroup) { w.sgFree = append(w.sgFree, g) }
+
+func (w *worker) newPieces() []pullPiece {
+	if n := len(w.piecesFree); n > 0 {
+		p := w.piecesFree[n-1]
+		w.piecesFree = w.piecesFree[:n-1]
+		return p[:0]
+	}
+	return make([]pullPiece, 0, 8)
+}
+
+func (w *worker) recyclePieces(p []pullPiece) {
+	if cap(p) > 0 {
+		w.piecesFree = append(w.piecesFree, p)
+	}
+}
+
+func (w *worker) newPulls() []*pullMsg {
+	if n := len(w.pullsFree); n > 0 {
+		p := w.pullsFree[n-1]
+		w.pullsFree = w.pullsFree[:n-1]
+		return p[:0]
+	}
+	return make([]*pullMsg, 0, 4)
+}
+
+func (w *worker) recyclePulls(p []*pullMsg) {
+	if cap(p) > 0 {
+		w.pullsFree = append(w.pullsFree, p)
+	}
+}
+
+// pullTag returns the cached "pull[gN]" label for gradient g.
+func (w *worker) pullTag(g int) string {
+	if g < 0 || g >= len(w.pullTags) {
+		return fmt.Sprintf("pull[g%d]", g)
+	}
+	if w.pullTags[g] == "" {
+		w.pullTags[g] = fmt.Sprintf("pull[g%d]", g)
+	}
+	return w.pullTags[g]
 }
 
 // pumpDownlink serves eligible pulls on every shard downlink.
@@ -519,22 +667,33 @@ func (w *worker) pumpDownlinkShard(s int) {
 		return
 	}
 	pm := q[best]
-	w.pullQ[s] = append(q[:best], q[best+1:]...)
-	w.down[s].SendExtra(pm.bytes, pm.stall, fmt.Sprintf("pull[g%d]", pm.prio), func() {
-		sizes := w.ps.sizes
-		for _, pc := range pm.pieces {
-			w.pulledBytes[pc.grad] += pc.bytes
-			// Pull chunking splits at fractional byte boundaries, so the
-			// float sum can land a hair under the exact size; within half
-			// a byte the tensor is complete.
-			if w.pulledBytes[pc.grad] >= sizes[pc.grad]-0.5 {
-				w.pulled[pc.grad] = true
-			}
+	n := len(q)
+	copy(q[best:], q[best+1:])
+	q[n-1] = nil
+	w.pullQ[s] = q[:n-1]
+	w.downInflight[s] = pm
+	w.down[s].SendExtra(pm.bytes, pm.stall, w.pullTag(pm.prio), w.downDoneFn[s])
+}
+
+// onDownDone completes shard s's in-flight pull response.
+func (w *worker) onDownDone(s int) {
+	pm := w.downInflight[s]
+	w.downInflight[s] = nil
+	sizes := w.ps.sizes
+	for _, pc := range pm.pieces {
+		w.pulledBytes[pc.grad] += pc.bytes
+		// Pull chunking splits at fractional byte boundaries, so the
+		// float sum can land a hair under the exact size; within half
+		// a byte the tensor is complete.
+		if w.pulledBytes[pc.grad] >= sizes[pc.grad]-0.5 {
+			w.pulled[pc.grad] = true
 		}
-		w.ps.gc(pm.iter)
-		w.advanceForward() // a stalled forward segment may now proceed
-		w.pumpDownlinkShard(s)
-	})
+	}
+	iter := pm.iter
+	w.recyclePullMsg(pm)
+	w.ps.gc(iter)
+	w.advanceForward() // a stalled forward segment may now proceed
+	w.pumpDownlinkShard(s)
 }
 
 // debugPulled summarizes missing pulls for deadlock reports.

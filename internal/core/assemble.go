@@ -176,6 +176,23 @@ func (c Config) estimator() func(float64) float64 {
 	return func(s float64) float64 { return s / b }
 }
 
+// releaseOrder sorts gradient indices by (generation time, descending
+// index); a concrete sort.Interface keeps the hot Assemble path free of the
+// closure and reflection machinery of sort.SliceStable.
+type releaseOrder struct {
+	order []int
+	gen   []float64
+}
+
+func (r releaseOrder) Len() int { return len(r.order) }
+func (r releaseOrder) Less(a, b int) bool {
+	if r.gen[r.order[a]] != r.gen[r.order[b]] {
+		return r.gen[r.order[a]] < r.gen[r.order[b]]
+	}
+	return r.order[a] > r.order[b]
+}
+func (r releaseOrder) Swap(a, b int) { r.order[a], r.order[b] = r.order[b], r.order[a] }
+
 // intHeap is a min-heap of gradient indices (highest priority = smallest).
 type intHeap []int
 
@@ -229,25 +246,28 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if prof.Gen[order[a]] != prof.Gen[order[b]] {
-			return prof.Gen[order[a]] < prof.Gen[order[b]]
-		}
-		return order[a] > order[b]
-	})
+	sort.Stable(releaseOrder{order: order, gen: prof.Gen})
 
 	c0 := prof.BackwardEnd()
 	start := make([]float64, n)
 	remaining := make([]float64, n)
 	left := 0 // gradients with remaining bytes
+	// maxSpans bounds the total span count across the whole plan: the
+	// backward phase appends at most one span per partition (merges only
+	// shrink that), and the forward phase at most one span per gradient.
+	// One shared backing buffer of that size serves every unit, so span
+	// storage is a single allocation instead of one per block.
+	maxSpans := n
 	for i := range start {
 		start[i] = -1
 		remaining[i] = prof.Bytes[i]
 		left++
+		maxSpans += int(prof.Bytes[i]/cfg.Partition) + 1
 	}
-	plan := &Plan{Start: start}
+	spanBuf := make([]Span, 0, maxSpans)
+	plan := &Plan{Start: start, Units: make([]Unit, 0, 64)}
 
-	var ready intHeap
+	ready := make(intHeap, 0, n)
 	next := 0 // next index into order not yet released
 	absorb := func(now float64) {
 		for next < n && prof.Gen[order[next]] <= now {
@@ -278,7 +298,7 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 		// accounts for the true wire time.
 		blockStart := linkFree
 		tUsed := cfg.PerMessageTime
-		var spans []Span
+		base := len(spanBuf)
 		var bytes float64
 		for ready.Len() > 0 {
 			q := ready.peek()
@@ -299,7 +319,7 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 				deadline = prof.Gen[order[next]]
 			}
 			if !cfg.IgnoreWindows && blockStart+tUsed+e > deadline {
-				if len(spans) > 0 {
+				if len(spanBuf) > base {
 					break // block boundary: preemption point (line 7 fails)
 				}
 				// Not even one partition fits before the deadline. If the
@@ -327,11 +347,11 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 				left--
 			}
 			// Merge consecutive spans of the same gradient.
-			if k := len(spans); k > 0 && spans[k-1].Grad == q {
-				spans[k-1].Bytes += take
-				spans[k-1].Last = last
+			if k := len(spanBuf); k > base && spanBuf[k-1].Grad == q {
+				spanBuf[k-1].Bytes += take
+				spanBuf[k-1].Last = last
 			} else {
-				spans = append(spans, Span{Grad: q, Bytes: take, Last: last})
+				spanBuf = append(spanBuf, Span{Grad: q, Bytes: take, Last: last})
 			}
 			bytes += take
 			tUsed += e
@@ -344,11 +364,14 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 			// is on the wire instead lead the next block, which the outer
 			// loop opens immediately.
 		}
-		if len(spans) == 0 {
+		if len(spanBuf) == base {
 			continue
 		}
+		// Three-index slice: a later append past capacity (impossible given
+		// maxSpans, but harmless if it ever happened) can't scribble over
+		// this unit's spans.
 		plan.Units = append(plan.Units, Unit{
-			Spans:        spans,
+			Spans:        spanBuf[base:len(spanBuf):len(spanBuf)],
 			Bytes:        bytes,
 			PlannedStart: blockStart,
 			Phase:        Backward,
@@ -368,20 +391,22 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 	if linkFree > tNext {
 		tNext = linkFree
 	}
-	emit := func(spans []Span, bytes float64) {
-		if len(spans) == 0 {
+	base := len(spanBuf)
+	var bytes float64
+	emit := func() {
+		if len(spanBuf) == base {
 			return
 		}
 		plan.Units = append(plan.Units, Unit{
-			Spans:        spans,
+			Spans:        spanBuf[base:len(spanBuf):len(spanBuf)],
 			Bytes:        bytes,
 			PlannedStart: tNext,
 			Phase:        Forward,
 		})
 		tNext += cfg.PerMessageTime + est(bytes)
+		base = len(spanBuf)
+		bytes = 0
 	}
-	var spans []Span
-	var bytes float64
 	for q := 0; q < n; q++ {
 		if remaining[q] <= 0 {
 			continue
@@ -393,16 +418,15 @@ func Assemble(prof *Profile, cfg Config) (*Plan, error) {
 			// PerMessageTime before the first span's wire time.
 			start[q] = tNext + cfg.PerMessageTime + est(bytes)
 		}
-		spans = append(spans, Span{Grad: q, Bytes: remaining[q], Last: true})
+		spanBuf = append(spanBuf, Span{Grad: q, Bytes: remaining[q], Last: true})
 		bytes += remaining[q]
 		remaining[q] = 0
 		// Gradient 0 ships alone; afterwards close a bundle once it
 		// reaches the partition size.
 		if q == 0 || bytes >= cfg.Partition {
-			emit(spans, bytes)
-			spans, bytes = nil, 0
+			emit()
 		}
 	}
-	emit(spans, bytes)
+	emit()
 	return plan, nil
 }

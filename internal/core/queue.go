@@ -37,12 +37,22 @@ func NewQueue(plan *Plan, nGrads int) *Queue {
 }
 
 // ResetIteration clears generation and dispatch marks, ready for the next
-// training iteration.
+// training iteration. The mark slices are reused across iterations.
 func (q *Queue) ResetIteration() {
 	q.nSent = 0
 	q.finished = 0
-	q.sent = make([]bool, len(q.plan.Units))
-	q.generated = make([]bool, q.nGrads)
+	if cap(q.sent) < len(q.plan.Units) {
+		q.sent = make([]bool, len(q.plan.Units))
+	} else {
+		q.sent = q.sent[:len(q.plan.Units)]
+		clear(q.sent)
+	}
+	if cap(q.generated) < q.nGrads {
+		q.generated = make([]bool, q.nGrads)
+	} else {
+		q.generated = q.generated[:q.nGrads]
+		clear(q.generated)
+	}
 }
 
 // SetPlan replaces the plan (Prophet re-plans when the bandwidth monitor
@@ -107,13 +117,25 @@ func (q *Queue) Ready() (Unit, bool) {
 // nothing is eligible — the transport must poll Ready first (getTask in
 // BytePS terms).
 func (q *Queue) Pop() Unit {
+	u, _, ok := q.PopIndexed()
+	if !ok {
+		panic("core: Pop on non-ready queue")
+	}
+	return u
+}
+
+// PopIndexed removes the highest-priority eligible unit and returns it
+// together with its index in the plan. ok is false when nothing is
+// eligible. The index lets callers key per-unit caches without re-deriving
+// unit identity from its spans.
+func (q *Queue) PopIndexed() (Unit, int, bool) {
 	i := q.pick()
 	if i < 0 {
-		panic("core: Pop on non-ready queue")
+		return Unit{}, -1, false
 	}
 	q.sent[i] = true
 	q.nSent++
-	return q.plan.Units[i]
+	return q.plan.Units[i], i, true
 }
 
 // ReportFinish records that a previously popped unit completed its network

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"prophet/internal/cluster"
+	"prophet/internal/experiments/runner"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/profiler"
@@ -33,16 +34,15 @@ func (r *AblationBlocksResult) Render(w io.Writer) {
 
 // AblationBlocks runs the ablation.
 func AblationBlocks(cfg Config) (*AblationBlocksResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	link := linkMbps(2000)
-	pro, err := s.rate(cfg, s.prophet(), link, 3)
-	if err != nil {
-		return nil, err
-	}
 	// Windows removed: same Prophet, but block assembly ignores the
 	// stepwise transfer windows.
 	noWinFactory := func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
@@ -53,15 +53,14 @@ func AblationBlocks(cfg Config) (*AblationBlocksResult, error) {
 		}
 		return p
 	}
-	noWin, err := s.rate(cfg, noWinFactory, link, 3)
+	factories := []cluster.SchedulerFactory{s.prophet(), noWinFactory, s.byteScheduler()}
+	rates, err := runner.Map(cfg.Jobs, factories, func(_ int, f cluster.SchedulerFactory) (float64, error) {
+		return s.rate(cfg, f, link, 3)
+	})
 	if err != nil {
 		return nil, err
 	}
-	fixed, err := s.rate(cfg, s.byteScheduler(), link, 3)
-	if err != nil {
-		return nil, err
-	}
-	return &AblationBlocksResult{Prophet: pro, NoWindows: noWin, FixedCredit: fixed}, nil
+	return &AblationBlocksResult{Prophet: rates[0], NoWindows: rates[1], FixedCredit: rates[2]}, nil
 }
 
 // AblationMonitorResult shows the bandwidth monitor's value: under a
@@ -84,7 +83,10 @@ func (r *AblationMonitorResult) Render(w io.Writer) {
 
 // AblationMonitor runs the ablation.
 func AblationMonitor(cfg Config) (*AblationMonitorResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Iterations < 16 && !cfg.Quick {
 		cfg.Iterations = 16
 	}
@@ -101,10 +103,6 @@ func AblationMonitor(cfg Config) (*AblationMonitorResult, error) {
 		)
 		return netsim.DefaultLinkConfig(tr)
 	}
-	mon, err := s.rate(cfg, s.prophet(), varying, 3)
-	if err != nil {
-		return nil, err
-	}
 	// Stale variant: bandwidth source pinned to the t=0 estimate.
 	staleFactory := func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
 		lcfg := uplink.Config()
@@ -116,11 +114,14 @@ func AblationMonitor(cfg Config) (*AblationMonitorResult, error) {
 		}
 		return p
 	}
-	stale, err := s.rate(cfg, staleFactory, varying, 3)
+	factories := []cluster.SchedulerFactory{s.prophet(), staleFactory}
+	rates, err := runner.Map(cfg.Jobs, factories, func(_ int, f cluster.SchedulerFactory) (float64, error) {
+		return s.rate(cfg, f, varying, 3)
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &AblationMonitorResult{Monitored: mon, Stale: stale}, nil
+	return &AblationMonitorResult{Monitored: rates[0], Stale: rates[1]}, nil
 }
 
 // AblationProfileResult compares plan quality from a 5-iteration profile
@@ -143,16 +144,19 @@ func (r *AblationProfileResult) Render(w io.Writer) {
 
 // AblationProfile runs the ablation.
 func AblationProfile(cfg Config) (*AblationProfileResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	base := model.ResNet50()
 	wire := model.WithWireFactor(base, WireFactor)
 	agg := stepwise.Aggregate(wire, wire.TotalBytes()/13, 0)
 	link := linkMbps(2000)
-	out := &AblationProfileResult{}
-	for _, n := range []int{5, 50} {
+	type row struct{ rate, wall float64 }
+	rows, err := runner.Map(cfg.Jobs, []int{5, 50}, func(_ int, n int) (row, error) {
 		prof, err := profilerRunN(wire, 64, agg, cfg.Seed, n)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		res, err := cluster.Run(cluster.Config{
 			Model: wire, Batch: 64, Workers: 3, Agg: agg,
@@ -161,17 +165,17 @@ func AblationProfile(cfg Config) (*AblationProfileResult, error) {
 			Iterations: cfg.Iterations, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		if n == 5 {
-			out.Short = res.Rate(cfg.Warmup)
-			out.ShortWallTime = prof.WallTime
-		} else {
-			out.Long = res.Rate(cfg.Warmup)
-			out.LongWallTime = prof.WallTime
-		}
+		return row{rate: res.Rate(cfg.Warmup), wall: prof.WallTime}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationProfileResult{
+		Short: rows[0].rate, ShortWallTime: rows[0].wall,
+		Long: rows[1].rate, LongWallTime: rows[1].wall,
+	}, nil
 }
 
 // AblationOverheadResult removes the per-message overhead entirely: with a
@@ -199,35 +203,46 @@ func (r *AblationOverheadResult) Render(w io.Writer) {
 
 // AblationOverhead runs the ablation.
 func AblationOverhead(cfg Config) (*AblationOverheadResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationOverheadResult{}
+	freeWire := func(int) netsim.LinkConfig {
+		return netsim.LinkConfig{
+			Trace:     netsim.Const(netsim.Goodput(netsim.Mbps(2000))),
+			SetupTime: 0,
+			RampBytes: 0,
+		}
+	}
+	// Flatten the 2 variants × 4 strategies sweep into 8 independent jobs.
+	type job struct {
+		factory cluster.SchedulerFactory
+		link    func(int) netsim.LinkConfig
+	}
+	var jobs []job
 	for variant := 0; variant < 2; variant++ {
 		link := linkMbps(2000)
 		if variant == 1 {
-			link = func(int) netsim.LinkConfig {
-				return netsim.LinkConfig{
-					Trace:     netsim.Const(netsim.Goodput(netsim.Mbps(2000))),
-					SetupTime: 0,
-					RampBytes: 0,
-				}
-			}
+			link = freeWire
 		}
-		factories := []cluster.SchedulerFactory{s.fifo(), s.p3(), s.byteScheduler(), s.prophet()}
-		for i, f := range factories {
-			rate, err := s.rate(cfg, f, link, 3)
-			if err != nil {
-				return nil, err
-			}
-			if variant == 0 {
-				out.WithOverhead[i] = rate
-			} else {
-				out.NoOverhead[i] = rate
-			}
+		for _, f := range []cluster.SchedulerFactory{s.fifo(), s.p3(), s.byteScheduler(), s.prophet()} {
+			jobs = append(jobs, job{factory: f, link: link})
 		}
+	}
+	rates, err := runner.Map(cfg.Jobs, jobs, func(_ int, j job) (float64, error) {
+		return s.rate(cfg, j.factory, j.link, 3)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationOverheadResult{}
+	for i := 0; i < 4; i++ {
+		out.WithOverhead[i] = rates[i]
+		out.NoOverhead[i] = rates[4+i]
 	}
 	return out, nil
 }

@@ -42,7 +42,10 @@ func (r *ExtAllReduceResult) Render(w io.Writer) {
 
 // ExtAllReduce runs the comparison.
 func ExtAllReduce(cfg Config) (*ExtAllReduceResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err

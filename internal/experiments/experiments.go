@@ -29,20 +29,33 @@ type Config struct {
 	// Iterations per simulated run (default 12).
 	Iterations int
 	// Warmup iterations excluded from steady-state metrics (default 2).
+	// Zero means "use the default"; pass a negative value for exactly zero
+	// warmup (the same sentinel convention as cluster.Config.Jitter).
 	Warmup int
 	// Seed drives all randomness (default 1).
 	Seed uint64
 	// Quick trims sweeps for fast smoke runs (used by tests and -short
 	// benchmarks).
 	Quick bool
+	// Jobs bounds how many independent simulations of one experiment's
+	// sweep run concurrently. <= 1 runs serially (the default). Results are
+	// bit-identical at any Jobs value: every run owns its own sim.Engine
+	// and seed, and sweep results are collected by index.
+	Jobs int
 }
 
-func (c Config) withDefaults() Config {
+func (c Config) withDefaults() (Config, error) {
 	if c.Iterations == 0 {
 		c.Iterations = 12
 	}
-	if c.Warmup == 0 {
+	if c.Iterations < 0 {
+		return c, fmt.Errorf("experiments: negative Iterations %d", c.Iterations)
+	}
+	switch {
+	case c.Warmup == 0:
 		c.Warmup = 2
+	case c.Warmup < 0:
+		c.Warmup = 0 // explicit zero warmup
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -50,7 +63,14 @@ func (c Config) withDefaults() Config {
 	if c.Quick && c.Iterations > 8 {
 		c.Iterations = 8
 	}
-	return c
+	if c.Iterations <= c.Warmup {
+		return c, fmt.Errorf("experiments: Iterations (%d) must exceed Warmup (%d): no steady-state iterations would remain",
+			c.Iterations, c.Warmup)
+	}
+	if c.Jobs < 1 {
+		c.Jobs = 1
+	}
+	return c, nil
 }
 
 // Result is a rendered experiment outcome.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"prophet/internal/cluster"
+	"prophet/internal/experiments/runner"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/workload"
@@ -39,7 +40,10 @@ func (r *ExtASPResult) Render(w io.Writer) {
 
 // ExtASP runs the extension.
 func ExtASP(cfg Config) (*ExtASPResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -62,25 +66,26 @@ func ExtASP(cfg Config) (*ExtASPResult, error) {
 		}
 		return res.Rate(cfg.Warmup), nil
 	}
-	bspHet, err := runASP(s.prophet(), hetero, false)
-	if err != nil {
-		return nil, err
+	type job struct {
+		factory cluster.SchedulerFactory
+		link    func(int) netsim.LinkConfig
+		asp     bool
 	}
-	aspHet, err := runASP(s.prophet(), hetero, true)
-	if err != nil {
-		return nil, err
+	jobs := []job{
+		{s.prophet(), hetero, false},
+		{s.prophet(), hetero, true},
+		{s.fifo(), linkMbps(2000), true},
+		{s.prophet(), linkMbps(2000), true},
 	}
-	aspFIFO, err := runASP(s.fifo(), linkMbps(2000), true)
-	if err != nil {
-		return nil, err
-	}
-	aspProphet, err := runASP(s.prophet(), linkMbps(2000), true)
+	rates, err := runner.Map(cfg.Jobs, jobs, func(_ int, j job) (float64, error) {
+		return runASP(j.factory, j.link, j.asp)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &ExtASPResult{
-		BSPHetero: bspHet, ASPHetero: aspHet,
-		ASPFIFO: aspFIFO, ASPProphet: aspProphet,
+		BSPHetero: rates[0], ASPHetero: rates[1],
+		ASPFIFO: rates[2], ASPProphet: rates[3],
 	}, nil
 }
 
@@ -135,29 +140,23 @@ func (r *ExtTransformerResult) Render(w io.Writer) {
 
 // ExtTransformer runs the extension.
 func ExtTransformer(cfg Config) (*ExtTransformerResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.TransformerBase(), 32, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	link := linkMbps(10000)
-	fifo, err := s.rate(cfg, s.fifo(), link, 3)
+	factories := []cluster.SchedulerFactory{s.fifo(), s.p3(), s.byteScheduler(), s.prophet()}
+	rates, err := runner.Map(cfg.Jobs, factories, func(_ int, f cluster.SchedulerFactory) (float64, error) {
+		return s.rate(cfg, f, link, 3)
+	})
 	if err != nil {
 		return nil, err
 	}
-	p3, err := s.rate(cfg, s.p3(), link, 3)
-	if err != nil {
-		return nil, err
-	}
-	bs, err := s.rate(cfg, s.byteScheduler(), link, 3)
-	if err != nil {
-		return nil, err
-	}
-	pro, err := s.rate(cfg, s.prophet(), link, 3)
-	if err != nil {
-		return nil, err
-	}
-	return &ExtTransformerResult{FIFO: fifo, P3Rate: p3, BS: bs, Prophet: pro}, nil
+	return &ExtTransformerResult{FIFO: rates[0], P3Rate: rates[1], BS: rates[2], Prophet: rates[3]}, nil
 }
 
 // ExtShapesResult asks how Prophet's benefit depends on the tensor-size
@@ -189,62 +188,76 @@ func (r *ExtShapesResult) Render(w io.Writer) {
 
 // ExtShapes runs the extension.
 func ExtShapes(cfg Config) (*ExtShapesResult, error) {
-	cfg = cfg.withDefaults()
-	out := &ExtShapesResult{}
-	for _, shape := range []workload.Shape{workload.Uniform, workload.TailHeavy, workload.FrontHeavy, workload.Alternating} {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	shapes := []workload.Shape{workload.Uniform, workload.TailHeavy, workload.FrontHeavy, workload.Alternating}
+	type row struct{ fifo, pro float64 }
+	rows, err := runner.Map(cfg.Jobs, shapes, func(_ int, shape workload.Shape) (row, error) {
 		base, err := workload.Synthetic(shape, 40, 25_000_000, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		s, err := prepareWithHardware(model.WithWireFactor(base, WireFactor), 64, cfg.Seed, model.M60Like())
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		link := linkMbps(2000)
 		fifoRate, err := s.rate(cfg, s.fifo(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		proRate, err := s.rate(cfg, s.prophet(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{fifo: fifoRate, pro: proRate}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ExtShapesResult{}
+	for i, shape := range shapes {
 		out.Shapes = append(out.Shapes, shape.String())
-		out.FIFO = append(out.FIFO, fifoRate)
-		out.Prophet = append(out.Prophet, proRate)
+		out.FIFO = append(out.FIFO, rows[i].fifo)
+		out.Prophet = append(out.Prophet, rows[i].pro)
 	}
 	return out, nil
 }
 
 // ExtHardware runs the extension.
 func ExtHardware(cfg Config) (*ExtHardwareResult, error) {
-	cfg = cfg.withDefaults()
-	out := &ExtHardwareResult{}
-	for _, hw := range []struct {
-		name string
-		h    model.Hardware
-	}{{"m60", model.M60Like()}, {"v100", model.V100Like()}} {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	hws := []model.Hardware{model.M60Like(), model.V100Like()}
+	type row struct{ fifo, pro float64 }
+	rows, err := runner.Map(cfg.Jobs, hws, func(_ int, h model.Hardware) (row, error) {
 		// The stepwise pattern depends on compute speed: re-profile on
 		// each hardware profile, exactly as a real deployment would.
 		wire := model.WithWireFactor(model.ResNet50(), WireFactor)
-		s, err := prepareWithHardware(wire, 64, cfg.Seed, hw.h)
+		s, err := prepareWithHardware(wire, 64, cfg.Seed, h)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		link := linkMbps(4500)
-		fifoRate, err := s.rateHW(cfg, s.fifo(), link, 3, hw.h)
+		fifoRate, err := s.rateHW(cfg, s.fifo(), link, 3, h)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		proRate, err := s.rateHW(cfg, s.prophet(), link, 3, hw.h)
+		proRate, err := s.rateHW(cfg, s.prophet(), link, 3, h)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		if hw.name == "m60" {
-			out.M60FIFO, out.M60Prophet = fifoRate, proRate
-		} else {
-			out.V100FIFO, out.V100Prophet = fifoRate, proRate
-		}
+		return row{fifo: fifoRate, pro: proRate}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &ExtHardwareResult{
+		M60FIFO: rows[0].fifo, M60Prophet: rows[0].pro,
+		V100FIFO: rows[1].fifo, V100Prophet: rows[1].pro,
+	}, nil
 }

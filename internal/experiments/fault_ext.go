@@ -68,7 +68,10 @@ func (r *ExtFaultResult) Render(w io.Writer) {
 
 // ExtFault runs the extension.
 func ExtFault(cfg Config) (*ExtFaultResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	out := &ExtFaultResult{}
 
 	// Live emulation: worker 1's uplink throttled hard enough that the

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"prophet/internal/cluster"
+	"prophet/internal/experiments/runner"
 	"prophet/internal/model"
 	"prophet/internal/sim"
 )
@@ -41,7 +42,10 @@ func (r *Fig8Result) Render(w io.Writer) {
 
 // Fig8 runs the experiment.
 func Fig8(cfg Config) (*Fig8Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	type job struct {
 		base  *model.Model
 		batch int
@@ -56,30 +60,32 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 		jobs = []job{{model.ResNet18(), 32}, {model.ResNet50(), 32}}
 	}
 	const workers = 3
-	out := &Fig8Result{}
-	for _, j := range jobs {
+	rows, err := runner.Map(cfg.Jobs, jobs, func(_ int, j job) (Fig8Row, error) {
 		s, err := prepare(j.base, j.batch, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		link := sharedPSLink(workers)
 		pro, err := s.rate(cfg, s.prophet(), link, workers)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		bs, err := s.rate(cfg, s.byteScheduler(), link, workers)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
-		out.Rows = append(out.Rows, Fig8Row{
+		return Fig8Row{
 			Model:       j.base.Name,
 			Batch:       j.batch,
 			Prophet:     pro,
 			BS:          bs,
 			Improvement: pct(pro, bs),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // Fig9Result reproduces GPU utilization over time for ResNet50: Prophet's
@@ -103,7 +109,10 @@ func (r *Fig9Result) Render(w io.Writer) {
 
 // Fig9 runs the experiment.
 func Fig9(cfg Config) (*Fig9Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -150,7 +159,10 @@ func (r *Fig10Result) Render(w io.Writer) {
 
 // Fig10 runs the experiment.
 func Fig10(cfg Config) (*Fig10Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -198,7 +210,10 @@ func (r *Fig11Result) Render(w io.Writer) {
 
 // Fig11 runs the experiment.
 func Fig11(cfg Config) (*Fig11Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -214,14 +229,24 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 		{"bytescheduler", s.byteScheduler()},
 		{"prophet", s.prophet()},
 	}
-	for _, st := range strategies {
+	type row struct{ wait, dur float64 }
+	rows, err := runner.Map(cfg.Jobs, strategies, func(_ int, st struct {
+		name    string
+		factory cluster.SchedulerFactory
+	}) (row, error) {
 		res, err := s.runLogged(cfg, st.factory, link, workers)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{wait: 1e3 * res.Transfers.MeanWait(), dur: 1e3 * res.Transfers.MeanDuration()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range strategies {
 		out.Strategies = append(out.Strategies, st.name)
-		out.MeanWaitMS = append(out.MeanWaitMS, 1e3*res.Transfers.MeanWait())
-		out.MeanDurMS = append(out.MeanDurMS, 1e3*res.Transfers.MeanDuration())
+		out.MeanWaitMS = append(out.MeanWaitMS, rows[i].wait)
+		out.MeanDurMS = append(out.MeanDurMS, rows[i].dur)
 	}
 	return out, nil
 }
@@ -256,7 +281,10 @@ func (r *Table2Result) Render(w io.Writer) {
 
 // Table2 runs the experiment.
 func Table2(cfg Config) (*Table2Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -272,23 +300,30 @@ func Table2(cfg Config) (*Table2Result, error) {
 		paperP3 = []float64{37.69, 68.93}
 	}
 	out := &Table2Result{LimitsMbps: limits, PaperProphet: paperPro, PaperBS: paperBS, PaperP3: paperP3}
-	for _, mbps := range limits {
+	type row struct{ pro, bs, p3 float64 }
+	rows, err := runner.Map(cfg.Jobs, limits, func(_ int, mbps float64) (row, error) {
 		link := linkMbps(mbps)
 		pro, err := s.rate(cfg, s.prophet(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		bs, err := s.rate(cfg, s.byteScheduler(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		p3, err := s.rate(cfg, s.p3(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		out.Prophet = append(out.Prophet, pro)
-		out.BS = append(out.BS, bs)
-		out.P3 = append(out.P3, p3)
+		return row{pro: pro, bs: bs, p3: p3}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		out.Prophet = append(out.Prophet, r.pro)
+		out.BS = append(out.BS, r.bs)
+		out.P3 = append(out.P3, r.p3)
 	}
 	return out, nil
 }
@@ -319,7 +354,10 @@ func (r *Table3Result) Render(w io.Writer) {
 
 // Table3 runs the experiment.
 func Table3(cfg Config) (*Table3Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	type job struct {
 		base      *model.Model
 		batch     int
@@ -336,25 +374,32 @@ func Table3(cfg Config) (*Table3Result, error) {
 		jobs = jobs[2:4]
 	}
 	out := &Table3Result{}
-	for _, j := range jobs {
+	type row struct{ pro, bs float64 }
+	rows, err := runner.Map(cfg.Jobs, jobs, func(_ int, j job) (row, error) {
 		s, err := prepare(j.base, j.batch, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		link := linkMbps(3000)
 		pro, err := s.rate(cfg, s.prophet(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		bs, err := s.rate(cfg, s.byteScheduler(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{pro: pro, bs: bs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
 		out.Models = append(out.Models, j.base.Name)
 		out.Batches = append(out.Batches, j.batch)
-		out.Prophet = append(out.Prophet, pro)
-		out.BS = append(out.BS, bs)
-		out.Improvement = append(out.Improvement, pct(pro, bs))
+		out.Prophet = append(out.Prophet, rows[i].pro)
+		out.BS = append(out.BS, rows[i].bs)
+		out.Improvement = append(out.Improvement, pct(rows[i].pro, rows[i].bs))
 		out.PaperImpr = append(out.PaperImpr, j.paperImpr)
 	}
 	return out, nil

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"prophet/internal/cluster"
 	"prophet/internal/core"
+	"prophet/internal/experiments/runner"
 	"prophet/internal/model"
 	"prophet/internal/profiler"
 	"prophet/internal/sim"
@@ -40,7 +42,10 @@ func (r *Fig2Result) Render(w io.Writer) {
 
 // Fig2 runs the experiment.
 func Fig2(cfg Config) (*Fig2Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet152(), 32, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -89,7 +94,10 @@ func (r *Fig3aResult) Render(w io.Writer) {
 
 // Fig3a runs the experiment.
 func Fig3a(cfg Config) (*Fig3aResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -98,14 +106,16 @@ func Fig3a(cfg Config) (*Fig3aResult, error) {
 	if cfg.Quick {
 		parts = []float64{0.5e6, 4e6, 16e6}
 	}
+	rates, err := runner.Map(cfg.Jobs, parts, func(_ int, p float64) (float64, error) {
+		return s.rate(cfg, s.p3At(p), linkMbps(3000), 3)
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig3aResult{}
-	for _, p := range parts {
-		rate, err := s.rate(cfg, s.p3At(p), linkMbps(3000), 3)
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range parts {
 		out.PartitionsMB = append(out.PartitionsMB, p/1e6)
-		out.Rates = append(out.Rates, rate)
+		out.Rates = append(out.Rates, rates[i])
 	}
 	return out, nil
 }
@@ -138,7 +148,10 @@ func (r *Fig3bResult) Render(w io.Writer) {
 
 // Fig3b runs the experiment.
 func Fig3b(cfg Config) (*Fig3bResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if !cfg.Quick && cfg.Iterations < 40 {
 		cfg.Iterations = 40 // tuning needs iterations to show its probes
 	}
@@ -146,14 +159,14 @@ func Fig3b(cfg Config) (*Fig3bResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tuned, err := s.run(cfg, s.tunedByteScheduler(cfg.Seed), linkMbps(3000), 3)
+	runs := []cluster.SchedulerFactory{s.tunedByteScheduler(cfg.Seed), s.byteScheduler()}
+	results, err := runner.Map(cfg.Jobs, runs, func(_ int, f cluster.SchedulerFactory) (*cluster.Result, error) {
+		return s.run(cfg, f, linkMbps(3000), 3)
+	})
 	if err != nil {
 		return nil, err
 	}
-	fixed, err := s.run(cfg, s.byteScheduler(), linkMbps(3000), 3)
-	if err != nil {
-		return nil, err
-	}
+	tuned, fixed := results[0], results[1]
 	spread := func(xs []float64) float64 {
 		if len(xs) == 0 {
 			return 0
@@ -201,7 +214,10 @@ func (r *Fig4Result) Render(w io.Writer) {
 
 // Fig4 runs the experiment.
 func Fig4(cfg Config) (*Fig4Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	rn, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err

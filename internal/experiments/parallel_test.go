@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// liveWallTime matches the wall-clock column of live-emulation rows
+// ("wall 829ms"). Those runs execute real training against a real clock, so
+// their durations differ between ANY two runs, serial or parallel; every
+// simulated quantity must still match to the byte.
+var liveWallTime = regexp.MustCompile(`wall\s+\S+`)
+
+// liveFailFast matches the rendered error of the live fail-fast run in
+// ext-fault. A real connection drop races the PS's reader against its
+// writer, so whether "unexpected EOF" or "closed pipe" surfaces first is
+// real-I/O timing, not simulation state — same caveat as wall clocks.
+var liveFailFast = regexp.MustCompile(`error: emu: fail-fast: .*`)
+
+// TestSerialParallelIdentical renders every registered experiment serially
+// (Jobs: 1) and on 8 workers (Jobs: 8) and requires byte-identical output.
+// This is the determinism contract of the parallel sweep runner: a
+// simulation's result depends only on its own engine and seed, never on
+// which goroutine computed it, so fanning a sweep across workers must be
+// invisible in the results.
+func TestSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			render := func(jobs int) []byte {
+				res, err := spec.Run(Config{Quick: true, Seed: 7, Jobs: jobs})
+				if err != nil {
+					t.Fatalf("jobs=%d: %v", jobs, err)
+				}
+				var buf bytes.Buffer
+				res.Render(&buf)
+				b := liveWallTime.ReplaceAll(buf.Bytes(), []byte("wall X"))
+				return liveFailFast.ReplaceAll(b, []byte("error: emu: fail-fast: X"))
+			}
+			serial := render(1)
+			parallel := render(8)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("output differs between Jobs=1 and Jobs=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial, parallel)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"prophet/internal/cluster"
+	"prophet/internal/experiments/runner"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/profiler"
@@ -34,7 +36,10 @@ func (r *Fig12Result) Render(w io.Writer) {
 
 // Fig12 runs the experiment.
 func Fig12(cfg Config) (*Fig12Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -43,15 +48,22 @@ func Fig12(cfg Config) (*Fig12Result, error) {
 	if cfg.Quick {
 		counts = []int{2, 4}
 	}
-	out := &Fig12Result{}
-	for _, n := range counts {
+	type row struct{ per, agg float64 }
+	rows, err := runner.Map(cfg.Jobs, counts, func(_ int, n int) (row, error) {
 		res, err := s.run(cfg, s.prophet(), linkMbps(4500), n)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
+		return row{per: res.Rate(cfg.Warmup), agg: res.ClusterRate(cfg.Warmup)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig12Result{}
+	for i, n := range counts {
 		out.Workers = append(out.Workers, n)
-		out.PerWorkerRate = append(out.PerWorkerRate, res.Rate(cfg.Warmup))
-		out.ClusterRate = append(out.ClusterRate, res.ClusterRate(cfg.Warmup))
+		out.PerWorkerRate = append(out.PerWorkerRate, rows[i].per)
+		out.ClusterRate = append(out.ClusterRate, rows[i].agg)
 	}
 	return out, nil
 }
@@ -89,7 +101,10 @@ func (r *Fig13Result) Render(w io.Writer) {
 // the first profileIters iterations under FIFO (the framework's default
 // while Prophet is still collecting c(i)), then switching to Prophet.
 func Fig13(cfg Config) (*Fig13Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -104,16 +119,20 @@ func Fig13(cfg Config) (*Fig13Result, error) {
 	// Prophet run: FIFO prefix (profiling) then Prophet steady state. The
 	// cluster API runs one strategy per run, so emulate the switch by
 	// running the prefix and suffix separately and concatenating
-	// timelines.
-	pre, err := s.run(Config{Iterations: profileIters, Warmup: 1, Seed: cfg.Seed, Quick: cfg.Quick}, s.fifo(), link, workers)
-	if err != nil {
-		return nil, err
-	}
-	post, err := s.run(cfg, s.prophet(), link, workers)
-	if err != nil {
-		return nil, err
-	}
-	bs, err := s.run(cfg, s.byteScheduler(), link, workers)
+	// timelines. All three runs are independent simulations.
+	var pre, post, bs *cluster.Result
+	err = runner.Run(cfg.Jobs, 3, func(i int) error {
+		var err error
+		switch i {
+		case 0:
+			pre, err = s.run(Config{Iterations: profileIters, Warmup: 1, Seed: cfg.Seed, Quick: cfg.Quick}, s.fifo(), link, workers)
+		case 1:
+			post, err = s.run(cfg, s.prophet(), link, workers)
+		case 2:
+			bs, err = s.run(cfg, s.byteScheduler(), link, workers)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -162,30 +181,40 @@ func (r *Sec53BandwidthResult) Render(w io.Writer) {
 
 // Sec53Bandwidth runs the experiment.
 func Sec53Bandwidth(cfg Config) (*Sec53BandwidthResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet18(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	limits := []float64{3000, 10000}
-	out := &Sec53BandwidthResult{LimitsMbps: limits}
-	for _, mbps := range limits {
+	type row struct{ fifo, p3, pro float64 }
+	rows, err := runner.Map(cfg.Jobs, limits, func(_ int, mbps float64) (row, error) {
 		link := linkMbps(mbps)
 		fifo, err := s.rate(cfg, s.fifo(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		p3, err := s.rate(cfg, s.p3(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		pro, err := s.rate(cfg, s.prophet(), link, 3)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		out.FIFO = append(out.FIFO, fifo)
-		out.P3Rate = append(out.P3Rate, p3)
-		out.Prophet = append(out.Prophet, pro)
+		return row{fifo: fifo, p3: p3, pro: pro}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Sec53BandwidthResult{LimitsMbps: limits}
+	for i := range limits {
+		out.FIFO = append(out.FIFO, rows[i].fifo)
+		out.P3Rate = append(out.P3Rate, rows[i].p3)
+		out.Prophet = append(out.Prophet, rows[i].pro)
 	}
 	return out, nil
 }
@@ -209,7 +238,10 @@ func (r *Sec53HeteroResult) Render(w io.Writer) {
 
 // Sec53Hetero runs the experiment.
 func Sec53Hetero(cfg Config) (*Sec53HeteroResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	s, err := prepare(model.ResNet50(), 64, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -221,19 +253,14 @@ func Sec53Hetero(cfg Config) (*Sec53HeteroResult, error) {
 		}
 		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(mbps))))
 	}
-	fifo, err := s.rate(cfg, s.fifo(), hetero, 3)
+	factories := []cluster.SchedulerFactory{s.fifo(), s.byteScheduler(), s.prophet()}
+	rates, err := runner.Map(cfg.Jobs, factories, func(_ int, f cluster.SchedulerFactory) (float64, error) {
+		return s.rate(cfg, f, hetero, 3)
+	})
 	if err != nil {
 		return nil, err
 	}
-	bs, err := s.rate(cfg, s.byteScheduler(), hetero, 3)
-	if err != nil {
-		return nil, err
-	}
-	pro, err := s.rate(cfg, s.prophet(), hetero, 3)
-	if err != nil {
-		return nil, err
-	}
-	return &Sec53HeteroResult{FIFO: fifo, BS: bs, Prophet: pro}, nil
+	return &Sec53HeteroResult{FIFO: rates[0], BS: rates[1], Prophet: rates[2]}, nil
 }
 
 // Sec54ProfilingResult reproduces the profiling-overhead accounting: wall
@@ -261,7 +288,10 @@ func (r *Sec54ProfilingResult) Render(w io.Writer) {
 
 // Sec54Profiling runs the experiment.
 func Sec54Profiling(cfg Config) (*Sec54ProfilingResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	jobs := []struct {
 		base   *model.Model
 		batch  int
@@ -271,19 +301,29 @@ func Sec54Profiling(cfg Config) (*Sec54ProfilingResult, error) {
 		{model.ResNet50(), 64, 9.5},
 		{model.ResNet152(), 32, 24.7},
 	}
-	out := &Sec54ProfilingResult{}
-	for _, j := range jobs {
+	walls, err := runner.Map(cfg.Jobs, jobs, func(_ int, j struct {
+		base   *model.Model
+		batch  int
+		paperS float64
+	}) (float64, error) {
 		wire := model.WithWireFactor(j.base, WireFactor)
 		agg := stepwise.Aggregate(wire, wire.TotalBytes()/13, 0)
 		res, err := profiler.Run(profiler.Config{
 			Model: wire, Batch: j.batch, Agg: agg, Seed: cfg.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return res.WallTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Sec54ProfilingResult{}
+	for i, j := range jobs {
 		out.Models = append(out.Models, j.base.Name)
 		out.Batches = append(out.Batches, j.batch)
-		out.WallTimeS = append(out.WallTimeS, res.WallTime)
+		out.WallTimeS = append(out.WallTimeS, walls[i])
 		out.PaperS = append(out.PaperS, j.paperS)
 	}
 	return out, nil

@@ -1,0 +1,105 @@
+// Package runner is a bounded worker pool for fanning independent
+// simulation configurations across goroutines.
+//
+// Determinism is the design constraint: a simulation's *result* depends
+// only on its own sim.Engine and seed, never on which goroutine computed
+// it or in what order, so the pool's only obligations are (a) run every
+// job, (b) put each result at its input's index, and (c) report errors
+// deterministically. Jobs are handed out by an atomic counter — the
+// assignment of jobs to goroutines is scheduler-dependent, but that
+// assignment is invisible in the output.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the pool size used when a caller passes
+// workers <= 0: GOMAXPROCS, the hardware parallelism Go will actually use.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run invokes job(i) for every i in [0, n), using up to `workers`
+// goroutines (workers <= 1 runs serially on the calling goroutine; so does
+// n <= 1). If any job returns an error or panics, remaining unstarted jobs
+// are skipped and Run returns the error of the *lowest-indexed* failed job
+// — the same error a serial loop would have surfaced first — so error
+// reporting does not depend on goroutine scheduling. Panics are converted
+// to errors rather than crashing sibling jobs.
+func Run(workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := call(job, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := call(job, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// call runs job(i), converting a panic into an error so one bad job cannot
+// take down the whole pool (or, under parallelism, sibling simulations).
+func call(job func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+		}
+	}()
+	return job(i)
+}
+
+// Map runs fn over items with up to `workers` goroutines and returns the
+// results in input order. On error the slice produced so far is returned
+// alongside the lowest-indexed error; entries whose jobs failed or were
+// skipped are zero values.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := Run(workers, len(items), func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 50
+		var counts [n]atomic.Int32
+		err := Run(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	// Jobs 7 and 23 fail; the reported error must be job 7's, matching what
+	// a serial loop would surface, regardless of worker count.
+	for _, workers := range []int{1, 4, 16} {
+		err := Run(workers, 40, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 7's", workers, err)
+		}
+	}
+}
+
+func TestRunSkipsAfterFailure(t *testing.T) {
+	// With a single worker, jobs after the failure must not run.
+	ran := 0
+	boom := errors.New("boom")
+	err := Run(1, 100, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d jobs, want 4", ran)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := Run(workers, 10, func(i int) error {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic did not surface as error", workers)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := Run(workers, 60, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ {
+			_ = j * j // hold the slot briefly so overlap is observable
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, cap is %d", p, workers)
+	}
+}
+
+func TestMapCollectsByIndex(t *testing.T) {
+	items := []int{10, 20, 30, 40, 50}
+	out, err := Map(4, items, func(i int, v int) (string, error) {
+		return fmt.Sprintf("%d:%d", i, v), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range items {
+		if want := fmt.Sprintf("%d:%d", i, v); out[i] != want {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], want)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	_, err := Map(2, []int{1, 2, 3}, func(i int, v int) (int, error) {
+		if v == 2 {
+			return 0, errors.New("nope")
+		}
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("Map swallowed the error")
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"prophet/internal/cluster"
 	"prophet/internal/emu"
+	"prophet/internal/experiments/runner"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/nn"
@@ -87,7 +88,10 @@ func (r *ExtShardResult) Render(w io.Writer) {
 
 // ExtShard runs the extension.
 func ExtShard(cfg Config) (*ExtShardResult, error) {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	const workers = 3
 	out := &ExtShardResult{Workers: workers}
 
@@ -121,24 +125,39 @@ func ExtShard(cfg Config) (*ExtShardResult, error) {
 		}
 		return res.Rate(cfg.Warmup), nil
 	}
+	// Flatten the regime × shard-count grid into an explicit job list so
+	// the rows can fan out across workers while keeping the output order.
+	type simJob struct {
+		shards   int
+		equalAgg bool
+	}
+	var simJobs []simJob
 	for _, regimeEqual := range []bool{false, true} {
 		for _, n := range shardCounts {
 			if regimeEqual && n == 1 {
 				continue // identical to full-speed at 1 shard
 			}
-			row := ExtShardSimRow{Shards: n, EqualAggregate: regimeEqual}
-			if row.FIFO, err = runOne(s.fifo(), n, regimeEqual); err != nil {
-				return nil, fmt.Errorf("ext-shard: fifo %d shards: %w", n, err)
-			}
-			if row.BS, err = runOne(s.byteScheduler(), n, regimeEqual); err != nil {
-				return nil, fmt.Errorf("ext-shard: bytescheduler %d shards: %w", n, err)
-			}
-			if row.Pro, err = runOne(s.prophet(), n, regimeEqual); err != nil {
-				return nil, fmt.Errorf("ext-shard: prophet %d shards: %w", n, err)
-			}
-			out.SimRows = append(out.SimRows, row)
+			simJobs = append(simJobs, simJob{shards: n, equalAgg: regimeEqual})
 		}
 	}
+	simRows, err := runner.Map(cfg.Jobs, simJobs, func(_ int, j simJob) (ExtShardSimRow, error) {
+		row := ExtShardSimRow{Shards: j.shards, EqualAggregate: j.equalAgg}
+		var err error
+		if row.FIFO, err = runOne(s.fifo(), j.shards, j.equalAgg); err != nil {
+			return row, fmt.Errorf("ext-shard: fifo %d shards: %w", j.shards, err)
+		}
+		if row.BS, err = runOne(s.byteScheduler(), j.shards, j.equalAgg); err != nil {
+			return row, fmt.Errorf("ext-shard: bytescheduler %d shards: %w", j.shards, err)
+		}
+		if row.Pro, err = runOne(s.prophet(), j.shards, j.equalAgg); err != nil {
+			return row, fmt.Errorf("ext-shard: prophet %d shards: %w", j.shards, err)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SimRows = simRows
 
 	// Live emulation: a real model at 2 shards under every policy, with
 	// the single-PS run as the trajectory reference.
@@ -162,7 +181,8 @@ func ExtShard(cfg Config) (*ExtShardResult, error) {
 		return nil, fmt.Errorf("ext-shard: single-PS reference: %w", err)
 	}
 	out.EmuTrajectoriesMatch = true
-	for _, pol := range []emu.Policy{emu.FIFO, emu.Priority, emu.Prophet} {
+	policies := []emu.Policy{emu.FIFO, emu.Priority, emu.Prophet}
+	emuResults, err := runner.Map(cfg.Jobs, policies, func(_ int, pol emu.Policy) (*emu.Result, error) {
 		c := base
 		c.Policy = pol
 		c.Shards = 2
@@ -171,6 +191,13 @@ func ExtShard(cfg Config) (*ExtShardResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ext-shard: %s at 2 shards: %w", pol, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policies {
+		res := emuResults[i]
 		loss := 0.0
 		if n := len(res.Losses); n > 0 {
 			loss = res.Losses[n-1]

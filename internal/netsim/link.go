@@ -85,6 +85,15 @@ type Link struct {
 	record    bool
 	observers []func(TransferRecord)
 	sentByte  float64
+
+	// In-flight message state. A link carries exactly one message at a
+	// time, so the per-send fields live on the struct and completeFn is
+	// bound once in NewLink — Send never allocates a closure.
+	curStart sim.Time
+	curBytes float64
+	curTag   string
+	curDone  func()
+	complete func()
 }
 
 // NewLink creates a link driven by eng.
@@ -95,7 +104,9 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.SetupTime < 0 || cfg.RampBytes < 0 {
 		panic("netsim: negative link overhead")
 	}
-	return &Link{eng: eng, cfg: cfg}
+	l := &Link{eng: eng, cfg: cfg}
+	l.complete = l.completeSend
+	return l
 }
 
 // Config returns the link's configuration.
@@ -140,18 +151,25 @@ func (l *Link) SendExtra(bytes, extra float64, tag string, done func()) {
 	l.busy = true
 	start := l.eng.Now()
 	dur := extra + l.cfg.MessageTime(start+extra, bytes)
-	l.eng.Schedule(dur, func() {
-		l.busy = false
-		l.sentByte += bytes
-		rec := TransferRecord{Start: start, End: l.eng.Now(), Bytes: bytes, Tag: tag}
-		if l.record {
-			l.records = append(l.records, rec)
-		}
-		l.notify(rec)
-		if done != nil {
-			done()
-		}
-	})
+	l.curStart, l.curBytes, l.curTag, l.curDone = start, bytes, tag, done
+	l.eng.Schedule(dur, l.complete)
+}
+
+// completeSend finishes the in-flight message. The cur* fields are cleared
+// before done runs because done routinely issues the next Send.
+func (l *Link) completeSend() {
+	l.busy = false
+	l.sentByte += l.curBytes
+	rec := TransferRecord{Start: l.curStart, End: l.eng.Now(), Bytes: l.curBytes, Tag: l.curTag}
+	done := l.curDone
+	l.curStart, l.curBytes, l.curTag, l.curDone = 0, 0, "", nil
+	if l.record {
+		l.records = append(l.records, rec)
+	}
+	l.notify(rec)
+	if done != nil {
+		done()
+	}
 }
 
 // ObserveTransfers registers fn to run after every completed transfer, in

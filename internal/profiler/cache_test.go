@@ -1,0 +1,168 @@
+package profiler
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"prophet/internal/model"
+	"prophet/internal/stepwise"
+)
+
+func cacheCfg(m *model.Model, batch int, seed uint64) Config {
+	return Config{
+		Model: m,
+		Batch: batch,
+		Agg:   stepwise.Aggregate(m, 2<<20, 0),
+		Seed:  seed,
+	}
+}
+
+func TestCacheReturnsIdenticalResults(t *testing.T) {
+	cfg := cacheCfg(model.ResNet18(), 32, 11)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("Run returned the same *Result pointer; callers must get their own struct")
+	}
+	if len(a.Gen) != len(b.Gen) || a.WallTime != b.WallTime {
+		t.Fatal("cached result differs from original")
+	}
+	for i := range a.Gen {
+		if a.Gen[i] != b.Gen[i] || a.Bytes[i] != b.Bytes[i] {
+			t.Fatalf("gradient %d: cached result differs", i)
+		}
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	m := model.ResNet18()
+	base := cacheCfg(m, 32, 11)
+	if err := base.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	k0 := cacheKey(&base)
+
+	variants := map[string]func(*Config){
+		"batch":      func(c *Config) { c.Batch = 64 },
+		"seed":       func(c *Config) { c.Seed = 12 },
+		"iterations": func(c *Config) { c.Iterations = 10 },
+		"jitter":     func(c *Config) { c.Jitter = 0.05 },
+		"hardware":   func(c *Config) { c.Hardware = model.V100Like() },
+		"model":      func(c *Config) { c.Model = model.ResNet50() },
+		"agg":        func(c *Config) { c.Agg = stepwise.Aggregate(c.Model, 8<<20, 0) },
+	}
+	for name, mut := range variants {
+		c := cacheCfg(m, 32, 11)
+		if err := c.setDefaults(); err != nil {
+			t.Fatal(err)
+		}
+		mut(&c)
+		if cacheKey(&c) == k0 {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+
+	// Pointer identity must NOT matter: two independently built models with
+	// the same content hash identically.
+	c2 := cacheCfg(model.ResNet18(), 32, 11)
+	if err := c2.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cacheKey(&c2) != k0 {
+		t.Error("content-identical configs hashed differently")
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines across a few
+// distinct configs. Run under -race (see Makefile RACE_PKGS): it must be
+// data-race free, every goroutine must observe bit-identical results for
+// its config, and each distinct config must have been computed at least
+// once (misses grow by at most the number of distinct configs).
+func TestCacheConcurrent(t *testing.T) {
+	configs := []Config{
+		cacheCfg(model.ResNet18(), 32, 101),
+		cacheCfg(model.ResNet18(), 64, 101),
+		cacheCfg(model.ResNet50(), 32, 101),
+		cacheCfg(model.VGG19(), 32, 202),
+	}
+	refs := make([]*Result, len(configs))
+	for i, cfg := range configs {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+	h0, m0 := Stats()
+
+	const goroutines = 32
+	const callsPer = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < callsPer; c++ {
+				i := (g + c) % len(configs)
+				r, err := Run(configs[i])
+				if err != nil {
+					errc <- err
+					return
+				}
+				ref := refs[i]
+				if len(r.Gen) != len(ref.Gen) || r.WallTime != ref.WallTime {
+					t.Errorf("config %d: concurrent result shape differs", i)
+					return
+				}
+				for j := range r.Gen {
+					if r.Gen[j] != ref.Gen[j] {
+						t.Errorf("config %d gradient %d: concurrent result differs", i, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	h1, m1 := Stats()
+	if m1 != m0 {
+		t.Errorf("concurrent re-runs computed fresh profiles: misses %d -> %d", m0, m1)
+	}
+	if wantHits := uint64(goroutines * callsPer); h1-h0 != wantHits {
+		t.Errorf("hits grew by %d, want %d", h1-h0, wantHits)
+	}
+}
+
+func TestCacheMissOnFirstUse(t *testing.T) {
+	// A config with a seed no other test uses must miss exactly once.
+	cfg := cacheCfg(model.AlexNet(), 16, math.MaxUint64-7)
+	_, m0 := Stats()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	_, m1 := Stats()
+	if m1 != m0+1 {
+		t.Fatalf("first use: misses %d -> %d, want +1", m0, m1)
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	_, m2 := Stats()
+	if m2 != m1 {
+		t.Fatalf("second use recomputed: misses %d -> %d", m1, m2)
+	}
+}

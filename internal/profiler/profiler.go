@@ -105,11 +105,11 @@ func BackwardRelease(m *model.Model, hw model.Hardware, batch int, agg stepwise.
 	return agg.ReleaseTimes(raw)
 }
 
-// Run profiles the job and returns the aggregated result.
-func Run(cfg Config) (*Result, error) {
-	if err := cfg.setDefaults(); err != nil {
-		return nil, err
-	}
+// run profiles the job and returns the aggregated result. It is the
+// uncached implementation; the exported Run (cache.go) memoizes it per
+// canonical config, since experiments profile the same (model, batch, agg,
+// seed) tuples over and over. cfg must already have defaults applied.
+func run(cfg Config) (*Result, error) {
 	m := cfg.Model
 	n := m.NumGradients()
 	rng := sim.NewRand(cfg.Seed)

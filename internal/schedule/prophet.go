@@ -30,6 +30,11 @@ type Prophet struct {
 	plannedBW     float64
 	replans       int
 	ignoreWindows bool
+	// msgCache holds the rendered Message per plan unit. A unit's pieces and
+	// label depend only on the plan, so the same (read-only) Message is
+	// re-emitted every iteration instead of being rebuilt — the cache is
+	// dropped whenever the plan changes.
+	msgCache []Message
 }
 
 // NewProphet creates the strategy. prof is the job profiler's output;
@@ -64,6 +69,7 @@ func (p *Prophet) replan(bw float64) error {
 	p.plan = plan
 	p.plannedBW = bw
 	p.replans++
+	p.msgCache = nil
 	return nil
 }
 
@@ -118,12 +124,25 @@ func (p *Prophet) OnGenerated(g int, _ float64) { p.queue.MarkGenerated(g) }
 // unit whose gradients are not all generated blocks the stream, preserving
 // both block structure and priority.
 func (p *Prophet) Next(float64) (Message, bool) {
-	u, ok := p.queue.Ready()
+	u, i, ok := p.queue.PopIndexed()
 	if !ok {
 		return Message{}, false
 	}
-	p.queue.Pop()
+	if p.msgCache == nil {
+		p.msgCache = make([]Message, len(p.plan.Units))
+	}
+	if p.msgCache[i].Pieces == nil {
+		p.msgCache[i] = p.renderUnit(u)
+	}
+	return p.msgCache[i], true
+}
+
+// renderUnit builds the wire Message for one plan unit. Callers must treat
+// the result (in particular Pieces) as immutable: it is cached and re-used
+// on every subsequent iteration.
+func (p *Prophet) renderUnit(u core.Unit) Message {
 	msg := Message{Bytes: u.Bytes}
+	msg.Pieces = make([]Piece, 0, len(u.Spans))
 	for _, s := range u.Spans {
 		msg.Pieces = append(msg.Pieces, Piece{Grad: s.Grad, Bytes: s.Bytes, Last: s.Last})
 	}
@@ -134,7 +153,7 @@ func (p *Prophet) Next(float64) (Message, bool) {
 		msg.Label = fmt.Sprintf("fwd[g%d]", grads[0])
 	}
 	msg.Stall = p.EngineCost
-	return msg, true
+	return msg
 }
 
 // OnSent implements Scheduler.

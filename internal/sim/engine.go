@@ -16,30 +16,46 @@ import (
 // Time is a point on the simulation clock, in seconds.
 type Time = float64
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created through Engine.Schedule or Engine.At.
+// Event is a pooled scheduler node. Callers never construct or hold an
+// Event directly: Engine.Schedule and Engine.At return a Handle, and the
+// Event itself is recycled through the engine's free list the moment it
+// fires or is canceled. The generation counter is what keeps recycled
+// nodes safe: a Handle created for one incarnation can never affect the
+// next one.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once popped or canceled
-	canceled bool
-	fn       func()
+	at    Time
+	seq   uint64
+	index int // heap index, -1 once popped or canceled
+	gen   uint64
+	fn    func()
 }
 
-// At reports the simulation time at which the event fires.
-func (e *Event) At() Time { return e.at }
+// Handle identifies one scheduled callback. It is a small value type —
+// copying it is free and holding it past the event's firing is safe: a
+// stale Handle no longer matches its Event's generation, so Cancel and
+// Active report false instead of touching a recycled event.
+type Handle struct {
+	ev  *Event
+	gen uint64
+	at  Time
+}
 
-// Canceled reports whether the event has been canceled.
-func (e *Event) Canceled() bool { return e.canceled }
+// At reports the simulation time at which the event was scheduled to fire.
+func (h Handle) At() Time { return h.at }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 // Engine is not safe for concurrent use; a simulation is single-threaded by
 // design (determinism), while the systems *modeled* may be concurrent.
+// Concurrency in the harness happens one level up: independent simulations,
+// each owning its private Engine, run on separate goroutines.
 type Engine struct {
 	now    Time
 	queue  eventQueue
 	seq    uint64
 	nFired uint64
+	// free is the Event free list: fired and canceled events are recycled
+	// here so steady-state simulation allocates no event nodes at all.
+	free []*Event
 }
 
 // New returns a new engine with the clock at zero.
@@ -54,10 +70,13 @@ func (e *Engine) Fired() uint64 { return e.nFired }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// FreeListLen returns how many recycled events are pooled (test hook).
+func (e *Engine) FreeListLen() int { return len(e.free) }
+
 // Schedule arranges for fn to run after delay seconds of simulated time and
 // returns a handle that can be canceled. A negative delay panics: scheduling
 // into the past would silently corrupt causality.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Handle {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, e.now))
 	}
@@ -66,28 +85,51 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 
 // At arranges for fn to run at absolute time t. Events at equal times fire
 // in scheduling order (FIFO), which keeps runs deterministic.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("sim: At(%v) is in the past (now=%v)", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen, at: t}
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op and returns false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.canceled || ev.index < 0 {
+// release returns an event to the free list and invalidates every
+// outstanding Handle to it by bumping the generation.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// Cancel removes a pending event. Canceling an already-fired,
+// already-canceled, or zero Handle is a no-op and returns false — even if
+// the underlying event node has been recycled for a new callback, the
+// generation check guarantees the new incarnation is untouched.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.index < 0 {
 		return false
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	heap.Remove(&e.queue, h.ev.index)
+	e.release(h.ev)
 	return true
+}
+
+// Active reports whether the handle's event is still pending.
+func (e *Engine) Active(h Handle) bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
 }
 
 // Step executes the next pending event, advancing the clock. It returns
@@ -99,7 +141,12 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.at
 	e.nFired++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running fn: the callback may schedule new events and
+	// reuse this very node, which is exactly the steady-state ping-pong
+	// that makes the hot loop allocation-free.
+	e.release(ev)
+	fn()
 	return true
 }
 

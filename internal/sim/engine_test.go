@@ -243,7 +243,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(raw []uint8, mask uint64) bool {
 		e := New()
 		firedCount := 0
-		events := make([]*Event, len(raw))
+		events := make([]Handle, len(raw))
 		wantFired := 0
 		for i, r := range raw {
 			events[i] = e.Schedule(Time(r), func() { firedCount++ })
