@@ -3,15 +3,16 @@
 GO ?= go
 
 # Packages with real goroutine concurrency (live PS path + fault layer,
-# profile cache, parallel sweep runner).
-RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner
+# profile cache, parallel sweep runner) plus the shared drive layer both
+# execution paths schedule through.
+RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner
 
 # Native fuzz targets and their packages (go runs one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 build vet test race bench bench-json fuzz
+.PHONY: check tier1 build vet test lint race bench bench-json fuzz
 
-check: tier1 race
+check: tier1 lint race
 
 tier1: build vet test
 
@@ -23,6 +24,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Formatting gate plus staticcheck when the tool is installed (the gate
+# must not require network access to fetch it).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)

@@ -13,16 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prophet/internal/emu"
 	"prophet/internal/nn"
 	"prophet/internal/shard"
+	"prophet/internal/strategy"
 )
 
 func main() {
 	var (
 		workers   = flag.Int("workers", 3, "data-parallel workers")
-		policy    = flag.String("policy", "prophet", "push order: fifo|priority|prophet")
+		policy    = flag.String("policy", "prophet", "scheduling strategy: "+strings.Join(strategy.Names(), "|"))
 		bandwidth = flag.Float64("bandwidth", 4e6, "per-worker link shaping in bytes/sec (0 = unshaped)")
 		iters     = flag.Int("iters", 15, "SGD iterations")
 		batch     = flag.Int("batch", 64, "per-worker batch size")
@@ -33,6 +35,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if _, deprecated, err := strategy.Resolve(*policy); err == nil && deprecated {
+		fmt.Fprintf(os.Stderr, "warning: -policy %s is deprecated; use its canonical name (see -help)\n", *policy)
+	}
+
 	ds := nn.Blobs(2048, 16, 4, *seed)
 	res, err := emu.Run(emu.Config{
 		Workers:              *workers,
@@ -41,7 +47,7 @@ func main() {
 		Batch:                *batch,
 		Iterations:           *iters,
 		LR:                   0.1,
-		Policy:               emu.Policy(*policy),
+		Policy:               *policy,
 		BandwidthBytesPerSec: *bandwidth,
 		Seed:                 *seed,
 		Shards:               *shards,

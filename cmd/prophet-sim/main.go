@@ -4,13 +4,14 @@
 // Usage:
 //
 //	prophet-sim -model resnet50 -batch 64 -workers 3 -bandwidth 3000 \
-//	            -scheduler prophet -iters 12
+//	            -policy prophet -iters 12
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prophet/internal/cluster"
 	"prophet/internal/model"
@@ -18,15 +19,18 @@ import (
 	"prophet/internal/profiler"
 	"prophet/internal/shard"
 	"prophet/internal/stepwise"
+	"prophet/internal/strategy"
 )
 
 func main() {
+	policyUsage := "scheduling strategy: " + strings.Join(strategy.Names(), "|")
 	var (
 		modelName = flag.String("model", "resnet50", "model: resnet18|resnet50|resnet152|inception-v3|vgg19|alexnet")
 		batch     = flag.Int("batch", 64, "per-worker mini-batch size")
 		workers   = flag.Int("workers", 3, "number of worker nodes")
 		bandwidth = flag.Float64("bandwidth", 3000, "per-worker bandwidth limit in Mbps")
-		sched     = flag.String("scheduler", "prophet", "strategy: fifo|p3|bytescheduler|bytescheduler-tuned|prophet")
+		policy    = flag.String("policy", "", policyUsage)
+		sched     = flag.String("scheduler", "prophet", "deprecated alias for -policy")
 		iters     = flag.Int("iters", 12, "training iterations")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		partition = flag.Float64("partition", 4, "P3 partition size in MB")
@@ -49,17 +53,25 @@ func main() {
 	}
 	agg := stepwise.Aggregate(wire, aggBytes, 0)
 
-	var factory cluster.SchedulerFactory
-	switch *sched {
-	case "fifo":
-		factory = cluster.FIFOFactory(wire)
-	case "p3":
-		factory = cluster.P3Factory(wire, *partition*1e6)
-	case "bytescheduler":
-		factory = cluster.ByteSchedulerFactory(wire, *credit*1e6)
-	case "bytescheduler-tuned":
-		factory = cluster.TunedByteSchedulerFactory(wire, *credit*1e6, 1e6, 16e6, *seed)
-	case "prophet":
+	// -policy is the canonical spelling; -scheduler survives as an alias.
+	name := *sched
+	if *policy != "" {
+		name = *policy
+	}
+	canonical, deprecated, err := strategy.Resolve(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if deprecated {
+		fmt.Fprintf(os.Stderr, "warning: policy name %q is deprecated; use %q\n", name, canonical)
+	}
+	opt := cluster.Options{
+		Partition: *partition * 1e6,
+		Credit:    *credit * 1e6,
+		Seed:      *seed,
+	}
+	if canonical == "prophet" {
 		prof, err := profiler.Run(profiler.Config{Model: wire, Batch: *batch, Agg: agg, Seed: *seed * 97})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -67,9 +79,11 @@ func main() {
 		}
 		fmt.Printf("profiled %d iterations: %d stepwise blocks, backward %.0f ms, cost %.1f s\n",
 			prof.Iterations, len(prof.Blocks), 1e3*prof.Gen[0], prof.WallTime)
-		factory = cluster.ProphetFactory(prof.Profile())
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		opt.Profile = prof.Profile()
+	}
+	factory, err := cluster.ByName(canonical, wire, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 

@@ -1,9 +1,10 @@
 // Real training: run actual data-parallel SGD — a real MLP, real gradient
 // bytes, a live parameter server over rate-shaped in-memory connections —
-// under the FIFO, priority, and Prophet push orders. The loss trajectory is
-// bit-identical across policies (synchronous SGD with deterministic
-// aggregation); what differs is when tensor 0's aggregated gradient is back
-// on the worker, which is what gates the next forward pass.
+// under the paper's four scheduling strategies (FIFO, P3, ByteScheduler,
+// Prophet). The loss trajectory is bit-identical across policies
+// (synchronous SGD with deterministic aggregation); what differs is when
+// tensor 0's aggregated gradient is back on the worker, which is what gates
+// the next forward pass.
 //
 //	go run ./examples/realtraining
 package main
@@ -30,7 +31,7 @@ func main() {
 	}
 
 	fmt.Println("data-parallel MLP, 3 workers, live parameter server, 4 MB/s links")
-	for _, policy := range []emu.Policy{emu.FIFO, emu.Priority, emu.Prophet} {
+	for _, policy := range []string{"fifo", "p3", "bytescheduler", "prophet"} {
 		cfg := base
 		cfg.Policy = policy
 		res, err := emu.Run(cfg)
@@ -42,7 +43,7 @@ func main() {
 			rtt += d.Seconds()
 		}
 		rtt /= float64(len(res.Tensor0RoundTrip) - 1)
-		fmt.Printf("  %-9s loss %.4f → %.4f   accuracy %.1f%%   tensor-0 round trip %6.1f ms   wall %s\n",
+		fmt.Printf("  %-13s loss %.4f → %.4f   accuracy %.1f%%   tensor-0 round trip %6.1f ms   wall %s\n",
 			policy, res.Losses[0], res.Losses[len(res.Losses)-1],
 			100*res.FinalAccuracy, 1e3*rtt, res.Duration.Round(1e6))
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"prophet/internal/drive"
 	"prophet/internal/metrics"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
@@ -79,6 +80,11 @@ type Config struct {
 	// RecordLinks keeps every link's per-message transfer records
 	// (message-level traces for cmd/prophet-trace and diagnostics).
 	RecordLinks bool
+	// RecordMessages keeps worker 0's scheduler decision log (one
+	// drive.Record per fetched message, in fetch order) in
+	// Result.Messages — the cross-path mirror test compares it against the
+	// live emulation's log.
+	RecordMessages bool
 	// ASP switches the parameter server from Bulk Synchronous Parallel to
 	// Asynchronous Parallel (the paper's future-work direction 1): a
 	// worker's pull is served from its own freshest push without waiting
@@ -244,6 +250,8 @@ type Result struct {
 	// UpRecords and DownRecords are per-worker per-message link traces
 	// (populated when RecordLinks is set).
 	UpRecords, DownRecords [][]netsim.TransferRecord
+	// Messages is worker 0's scheduler decision log (RecordMessages).
+	Messages []drive.Record
 	// Duration is the total simulated time.
 	Duration float64
 	// Batch and Workers echo the configuration.
@@ -362,6 +370,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Iters = workers[0].iterLog
+	if cfg.RecordMessages {
+		res.Messages = workers[0].drv.Records()
+	}
 	return res, nil
 }
 

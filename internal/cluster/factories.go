@@ -1,54 +1,124 @@
 package cluster
 
 import (
+	"fmt"
+
 	"prophet/internal/core"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/schedule"
 	"prophet/internal/sim"
+	"prophet/internal/strategy"
 )
 
 // SchedulerFactory builds a per-worker strategy instance.
 type SchedulerFactory = func(worker int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler
 
+// Options parameterizes ByName. Zero values select the registry defaults
+// (paper testbed configuration); Profile is required only for prophet.
+type Options struct {
+	// Partition is P3's slice size in bytes.
+	Partition float64
+	// Credit is ByteScheduler's credit in bytes; MinCredit/MaxCredit bound
+	// the tuner's exploration.
+	Credit, MinCredit, MaxCredit float64
+	// Seed drives the tuner's per-worker exploration streams.
+	Seed uint64
+	// Profile is the profiled generation pattern Prophet plans against.
+	Profile *core.Profile
+}
+
+// ByName builds a factory from a registry name (canonical or alias): the
+// single entry point the -policy flags and experiments use. Prophet gets
+// the cluster-side wiring each worker needs — a bandwidth monitor on its
+// own uplink and the link's setup/ramp cost as the per-message overhead.
+func ByName(name string, m *model.Model, opt Options) (SchedulerFactory, error) {
+	canonical, _, err := strategy.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if canonical == "prophet" && opt.Profile == nil {
+		return nil, fmt.Errorf("cluster: strategy prophet needs Options.Profile")
+	}
+	sizes := gradSizes(m)
+	return func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
+		p := strategy.Params{
+			Sizes:     sizes,
+			Partition: opt.Partition,
+			Credit:    opt.Credit,
+			MinCredit: opt.MinCredit,
+			MaxCredit: opt.MaxCredit,
+			Seed:      opt.Seed,
+			Worker:    w,
+			Profile:   opt.Profile,
+		}
+		if canonical == "prophet" {
+			p.Bandwidth, p.Overhead = linkMonitor(eng, uplink)
+		}
+		s, err := strategy.New(canonical, p)
+		if err != nil {
+			panic(err) // name and profile were validated above
+		}
+		return s
+	}, nil
+}
+
+// linkMonitor attaches Prophet's bandwidth source to a worker's uplink: a
+// netsim monitor initialized from the link's rate at time zero (standing in
+// for the one-off probe a fresh deployment runs), plus the link's
+// setup/ramp cost as the fixed per-message overhead Algorithm 1 sizes
+// blocks against.
+func linkMonitor(eng *sim.Engine, uplink *netsim.Link) (func() float64, func(bw float64) float64) {
+	cfg := uplink.Config()
+	initial := cfg.Trace.At(0)
+	mon := netsim.NewMonitor(eng, uplink, 0.3, initial)
+	overhead := func(bw float64) float64 {
+		if bw <= 0 {
+			return cfg.SetupTime
+		}
+		return cfg.SetupTime + cfg.RampBytes/bw
+	}
+	return mon.Estimate, overhead
+}
+
+// mustByName is ByName for names and options already validated by the
+// caller (the typed helpers below).
+func mustByName(name string, m *model.Model, opt Options) SchedulerFactory {
+	f, err := ByName(name, m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 // FIFOFactory returns the default-framework (MXNet) strategy.
 func FIFOFactory(m *model.Model) SchedulerFactory {
-	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
-		return schedule.NewFIFO(gradSizes(m))
-	}
+	return mustByName("fifo", m, Options{})
 }
 
 // P3Factory returns the P3 strategy with the given partition size in bytes
 // (the paper configures 4 MB).
 func P3Factory(m *model.Model, partition float64) SchedulerFactory {
-	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
-		return schedule.NewP3(gradSizes(m), partition)
-	}
+	return mustByName("p3", m, Options{Partition: partition})
 }
 
 // TicTacFactory returns the TicTac-style op-level priority strategy.
 func TicTacFactory(m *model.Model) SchedulerFactory {
-	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
-		return schedule.NewTicTac(gradSizes(m))
-	}
+	return mustByName("tictac", m, Options{})
 }
 
 // ByteSchedulerFactory returns the credit-based strategy with a fixed
 // credit in bytes.
 func ByteSchedulerFactory(m *model.Model, credit float64) SchedulerFactory {
-	return func(int, *sim.Engine, *netsim.Link) schedule.Scheduler {
-		return schedule.NewByteScheduler(gradSizes(m), credit)
-	}
+	return mustByName("bytescheduler", m, Options{Credit: credit})
 }
 
 // TunedByteSchedulerFactory returns ByteScheduler with its online credit
 // auto-tuner enabled (exploring minCredit..maxCredit), as in Fig. 3(b).
 func TunedByteSchedulerFactory(m *model.Model, credit, minCredit, maxCredit float64, seed uint64) SchedulerFactory {
-	return func(w int, _ *sim.Engine, _ *netsim.Link) schedule.Scheduler {
-		b := schedule.NewByteScheduler(gradSizes(m), credit)
-		b.EnableTuning(minCredit, maxCredit, seed+uint64(w)*31+11)
-		return b
-	}
+	return mustByName("bytescheduler-tuned", m, Options{
+		Credit: credit, MinCredit: minCredit, MaxCredit: maxCredit, Seed: seed,
+	})
 }
 
 // ProphetFactory returns the Prophet strategy: each worker attaches a
@@ -57,19 +127,13 @@ func TunedByteSchedulerFactory(m *model.Model, credit, minCredit, maxCredit floa
 // re-plans with Algorithm 1 when the estimate drifts.
 func ProphetFactory(prof *core.Profile) SchedulerFactory {
 	return func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
-		cfg := uplink.Config()
-		initial := cfg.Trace.At(0)
-		mon := netsim.NewMonitor(eng, uplink, 0.3, initial)
-		overhead := func(bw float64) float64 {
-			if bw <= 0 {
-				return cfg.SetupTime
-			}
-			return cfg.SetupTime + cfg.RampBytes/bw
-		}
-		p, err := schedule.NewProphet(prof, mon.Estimate, overhead)
+		bw, overhead := linkMonitor(eng, uplink)
+		s, err := strategy.New("prophet", strategy.Params{
+			Profile: prof, Bandwidth: bw, Overhead: overhead,
+		})
 		if err != nil {
 			panic(err) // profile was validated by the profiler
 		}
-		return p
+		return s
 	}
 }

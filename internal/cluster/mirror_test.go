@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"prophet/internal/drive"
 	"prophet/internal/netsim"
 	"prophet/internal/sim"
 )
@@ -16,14 +17,14 @@ func TestMirrorPullsConservesBytes(t *testing.T) {
 		}
 		cfg := Config{PullPartition: float64(limRaw%100)*1e5 + 1e5}
 		w := &worker{cfg: &cfg, eng: sim.New()}
-		var pieces []pullPiece
+		var ranges []drive.Range
 		want := map[int]float64{}
 		for i, r := range sizesRaw {
 			b := float64(r%30000000) + 1
-			pieces = append(pieces, pullPiece{grad: i, bytes: b, last: true})
+			ranges = append(ranges, drive.Range{Grad: i, Bytes: b, Last: true})
 			want[i] = b
 		}
-		pulls := w.mirrorPulls(0, pieces)
+		pulls := w.mirrorPulls(0, ranges)
 		got := map[int]float64{}
 		for _, pm := range pulls {
 			var s float64

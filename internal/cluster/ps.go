@@ -115,8 +115,8 @@ func (ps *paramServer) gc(int) {
 		if ps.dead != nil && ps.dead[wk.id] {
 			continue
 		}
-		if !seen || wk.commIter < min {
-			min, seen = wk.commIter, true
+		if ci := wk.drv.Iteration(); !seen || ci < min {
+			min, seen = ci, true
 		}
 	}
 	if !seen {

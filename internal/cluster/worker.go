@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"prophet/internal/drive"
 	"prophet/internal/metrics"
 	"prophet/internal/netsim"
 	"prophet/internal/schedule"
@@ -36,6 +37,12 @@ func (p phase) String() string {
 // segments, one uplink per PS shard pushing gradients as directed by its
 // scheduler, and one downlink per shard pulling aggregated parameters.
 //
+// The scheduler-driving state machine — fetch gate, shard splitting,
+// per-iteration byte offsets — lives in the shared drive.Driver; the worker
+// provides the transport (drive.Transmitter): it maps each drive.Send onto
+// a netsim uplink transfer, records push starts, and mirrors pushed bytes
+// back as pull messages.
+//
 // With a single shard the worker behaves exactly as the paper's testbed:
 // one serial uplink, one serial downlink. With PSShards > 1 the scheduler
 // still emits one message at a time in its global priority order; each
@@ -54,6 +61,7 @@ type worker struct {
 	rng  *sim.Rand
 
 	sched    schedule.Scheduler
+	drv      *drive.Driver
 	up, down []*netsim.Link
 
 	gpu        metrics.IntervalSeries
@@ -71,11 +79,6 @@ type worker struct {
 	bwdSeg    int
 	// halted marks a crash-stop fault having fired (Config.Faults).
 	halted bool
-	// commIter tags in-flight communication with the iteration whose
-	// gradients it carries. Pushes of iteration k keep draining during
-	// forward propagation of k+1 (after w.iter has advanced), so the GPU
-	// counter cannot be used for PS bookkeeping.
-	commIter int
 
 	// releaseAt[i] lists gradients released when backward segment i
 	// completes (i is the lowest index of its aggregation bucket).
@@ -84,17 +87,8 @@ type worker struct {
 	// Per-iteration communication state.
 	genTime     []float64 // absolute release times this iteration
 	pushStart   []float64 // first wire byte of gradient's push
-	pushedSoFar []float64 // cumulative bytes handed to the uplinks per gradient
 	pulledBytes []float64
 	pulled      []bool
-
-	// upQ[s] queues shard s's not-yet-started sub-messages, in scheduler
-	// emission order. All queues empty ⟺ every fetched message's bytes
-	// are scheduled, which is the fetch gate for the next message.
-	upQ [][]shardSend
-	// msgSeq numbers scheduler messages in fetch order (trace tags and
-	// the cross-shard invariant test).
-	msgSeq int
 
 	pullQ   [][]*pullMsg // per shard
 	pullSeq int
@@ -110,36 +104,14 @@ type worker struct {
 	upInflight   []upSend // per shard
 	downInflight []*pullMsg
 	pmFree       []*pullMsg
-	sgFree       []*sendGroup
-	piecesFree   [][]pullPiece
 	pullsFree    [][]*pullMsg
 	pullTags     []string // "pull[gN]" labels, built on first use
-	oneSub       [1]schedule.Message
 }
 
 // upSend is the in-flight uplink state of one shard.
 type upSend struct {
-	g     *sendGroup
 	sub   schedule.Message
 	pulls []*pullMsg
-}
-
-// sendGroup tracks one scheduler message across its per-shard sub-sends.
-type sendGroup struct {
-	msg        schedule.Message // the original message as the scheduler emitted it
-	iter       int
-	seq        int
-	total      int // sub-messages
-	started    int
-	done       int
-	firstStart float64
-}
-
-// shardSend is one queued per-shard sub-message.
-type shardSend struct {
-	msg    schedule.Message // the shard's slice of the group's message
-	group  *sendGroup
-	pieces []pullPiece // precomputed byte offsets for the mirror pulls
 }
 
 // pullMsg mirrors one completed push message back to the worker.
@@ -176,11 +148,9 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shar
 		downRate:     &metrics.RateSeries{},
 		genTime:      make([]float64, n),
 		pushStart:    make([]float64, n),
-		pushedSoFar:  make([]float64, n),
 		pulledBytes:  make([]float64, n),
 		pulled:       make([]bool, n),
 		releaseAt:    make([][]int, n),
-		upQ:          make([][]shardSend, shards),
 		pullQ:        make([][]*pullMsg, shards),
 		upInflight:   make([]upSend, shards),
 		downInflight: make([]*pullMsg, shards),
@@ -223,7 +193,39 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shar
 	// shard links of a worker share one configuration in every supported
 	// setup, so shard 0 is representative.
 	w.sched = cfg.Scheduler(id, eng, w.up[0])
+	w.drv = drive.New(w.sched, w, shards, n, smap.Of)
+	if cfg.RecordMessages && id == 0 {
+		w.drv.SetRecording(true)
+	}
 	return w
+}
+
+// Busy implements drive.Transmitter: lane s is its shard uplink.
+func (w *worker) Busy(s int) bool { return w.up[s].Busy() }
+
+// Start implements drive.Transmitter: it puts one sub-message on its shard
+// uplink, recording per-gradient push starts (first wire byte) and mirroring
+// the pushed byte ranges into pull messages that are released once the
+// transfer — and the PS aggregation it completes — lands.
+func (w *worker) Start(s *drive.Send) {
+	start := w.eng.Now()
+	for _, rg := range s.Ranges {
+		if w.pushStart[rg.Grad] < 0 {
+			w.pushStart[rg.Grad] = start
+		}
+	}
+	pulls := w.mirrorPulls(s.Iter, s.Ranges)
+	for _, pm := range pulls {
+		pm.stall = s.Msg.Stall
+	}
+	tag := s.Msg.Label
+	if len(w.up) > 1 {
+		// Structured tag for multi-shard traces and the invariant test:
+		// message fetch sequence, message priority, shard.
+		tag = fmt.Sprintf("%s#m%d.p%d.s%d", s.Msg.Label, s.Seq, s.Prio, s.Lane)
+	}
+	w.upInflight[s.Lane] = upSend{sub: s.Msg, pulls: pulls}
+	w.up[s.Lane].SendExtra(s.Msg.Bytes, s.Msg.Stall, tag, w.upDoneFn[s.Lane])
 }
 
 // startIteration begins the forward pass of the current iteration.
@@ -282,30 +284,29 @@ func (w *worker) onFwdSegDone() {
 }
 
 // startBackward begins backward propagation: communication state resets,
-// the scheduler is told a new iteration of pushes begins, and segments run
+// the driver is told a new iteration of pushes begins, and segments run
 // back-to-front.
 func (w *worker) startBackward() {
 	w.phase = phaseBackward
 	n := w.cfg.Model.NumGradients()
 	w.bwdSeg = n - 1
-	w.commIter = w.iter
 	for i := 0; i < n; i++ {
 		w.pulled[i] = false
 		w.pulledBytes[i] = 0
-		w.pushedSoFar[i] = 0
 		w.genTime[i] = 0
 		w.pushStart[i] = -1
 	}
-	// upQ is necessarily empty here: forward propagation only completes
-	// once every gradient of the previous iteration was pushed, which
-	// requires every queued sub-message to have been dispatched.
+	// The driver's queues are necessarily empty here: forward propagation
+	// only completes once every gradient of the previous iteration was
+	// pushed, which requires every queued sub-message to have been
+	// dispatched.
 	for s := range w.pullQ {
 		for _, pm := range w.pullQ[s] {
 			w.recyclePullMsg(pm)
 		}
 		w.pullQ[s] = w.pullQ[s][:0]
 	}
-	w.sched.BeginIteration(w.iter)
+	w.drv.BeginIteration(w.iter)
 	w.advanceBackward()
 }
 
@@ -334,9 +335,9 @@ func (w *worker) onBwdSegDone() {
 		now := w.eng.Now()
 		for _, g := range rel {
 			w.genTime[g] = now
-			w.sched.OnGenerated(g, now)
+			w.drv.Generate(g, now)
 		}
-		w.pumpUplink()
+		w.drv.Pump(now)
 	}
 	w.bwdSeg--
 	w.advanceBackward()
@@ -345,144 +346,23 @@ func (w *worker) onBwdSegDone() {
 func (w *worker) finishIteration() {
 	now := w.eng.Now()
 	w.iterLog.Add(w.iterStart, now)
-	w.sched.OnIterationEnd(now - w.iterStart)
+	w.drv.EndIteration(now - w.iterStart)
 	w.iterStart = now
 	w.iter++
 	w.startIteration()
-}
-
-// uplinkQueuesEmpty reports whether every fetched message's sub-messages
-// have started their transfers.
-func (w *worker) uplinkQueuesEmpty() bool {
-	for _, q := range w.upQ {
-		if len(q) > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// anyUplinkFree reports whether at least one shard uplink is idle.
-func (w *worker) anyUplinkFree() bool {
-	for _, l := range w.up {
-		if !l.Busy() {
-			return true
-		}
-	}
-	return false
-}
-
-// pumpUplink keeps the shard uplinks busy while the scheduler has work:
-// queued sub-messages are dispatched on free shard links, and a new
-// message is fetched from the scheduler only when every sub-message of
-// the previously fetched ones has started (the cross-shard priority
-// gate). With one shard this reduces exactly to the single-link behaviour:
-// fetch when the link frees, send, repeat.
-func (w *worker) pumpUplink() {
-	for {
-		for s := range w.up {
-			if !w.up[s].Busy() && len(w.upQ[s]) > 0 {
-				w.dispatch(s)
-			}
-		}
-		if !w.uplinkQueuesEmpty() || !w.anyUplinkFree() {
-			return
-		}
-		msg, ok := w.sched.Next(w.eng.Now())
-		if !ok {
-			return
-		}
-		w.enqueueMessage(msg)
-	}
-}
-
-// enqueueMessage splits a scheduler message by the key→shard map and
-// queues each sub-message on its shard. Byte offsets for the mirror pulls
-// are assigned here, in scheduler emission order, so a gradient's pieces
-// land in order regardless of when each shard link frees (a key lives on
-// exactly one shard, and per-shard queues are FIFO).
-func (w *worker) enqueueMessage(msg schedule.Message) {
-	g := w.newSendGroup()
-	g.msg, g.iter, g.seq = msg, w.commIter, w.msgSeq
-	w.msgSeq++
-	var subs []schedule.Message
-	if len(w.up) == 1 {
-		// Single shard: the message ships whole; skip the split (and its
-		// slice) entirely.
-		w.oneSub[0] = msg
-		subs = w.oneSub[:]
-	} else {
-		subs = schedule.SplitByShard(msg, len(w.up), w.smap.Of)
-	}
-	for s, sub := range subs {
-		if len(sub.Pieces) == 0 {
-			continue
-		}
-		pieces := w.newPieces()
-		for _, pc := range sub.Pieces {
-			pieces = append(pieces, pullPiece{
-				grad:  pc.Grad,
-				off:   w.pushedSoFar[pc.Grad],
-				bytes: pc.Bytes,
-				last:  pc.Last,
-			})
-			w.pushedSoFar[pc.Grad] += pc.Bytes
-		}
-		g.total++
-		w.upQ[s] = append(w.upQ[s], shardSend{msg: sub, group: g, pieces: pieces})
-	}
-}
-
-// dispatch starts shard s's next queued sub-message on its uplink.
-func (w *worker) dispatch(s int) {
-	item := w.upQ[s][0]
-	w.upQ[s] = w.upQ[s][1:]
-	g := item.group
-	start := w.eng.Now()
-	if g.started == 0 {
-		g.firstStart = start
-	}
-	g.started++
-	// Record per-gradient push starts (first wire byte).
-	for _, pc := range item.pieces {
-		if w.pushStart[pc.grad] < 0 {
-			w.pushStart[pc.grad] = start
-		}
-	}
-	pulls := w.mirrorPulls(g.iter, item.pieces)
-	for _, pm := range pulls {
-		pm.stall = g.msg.Stall
-	}
-	tag := item.msg.Label
-	if len(w.up) > 1 {
-		// Structured tag for multi-shard traces and the invariant test:
-		// message fetch sequence, message priority, shard.
-		tag = fmt.Sprintf("%s#m%d.p%d.s%d", item.msg.Label, g.seq, g.msg.Priority(), s)
-	}
-	sub := item.msg
-	// The pieces slice is consumed by the pushStart loop and mirrorPulls
-	// above (mirrorPulls copies values); it is dead once the send starts.
-	w.recyclePieces(item.pieces)
-	w.upInflight[s] = upSend{g: g, sub: sub, pulls: pulls}
-	w.up[s].SendExtra(sub.Bytes, sub.Stall, tag, w.upDoneFn[s])
 }
 
 // onUpDone completes shard s's in-flight uplink sub-message.
 func (w *worker) onUpDone(s int) {
 	in := w.upInflight[s]
 	w.upInflight[s] = upSend{}
-	g, sub := in.g, in.sub
 	end := w.eng.Now()
-	g.done++
-	last := g.done == g.total
-	if last {
-		w.sched.OnSent(g.msg, g.firstStart, end)
-	}
+	iter, _ := w.drv.Completed(s, end) // fires OnSent on the group's last sub-send
 	if w.id == 0 && w.res.Transfers != nil {
-		for _, pc := range sub.Pieces {
+		for _, pc := range in.sub.Pieces {
 			if pc.Last {
 				w.res.Transfers.Add(metrics.TransferEntry{
-					Iteration: g.iter,
+					Iteration: iter,
 					Gradient:  pc.Grad,
 					Generated: w.genTime[pc.Grad],
 					Start:     w.pushStart[pc.Grad],
@@ -493,24 +373,20 @@ func (w *worker) onUpDone(s int) {
 	}
 	w.pullQ[s] = append(w.pullQ[s], in.pulls...)
 	w.recyclePulls(in.pulls)
-	iter := g.iter
-	if last {
-		w.recycleSendGroup(g)
-	}
-	w.ps.onPush(w.id, iter, sub) // may unlock pulls on every worker
-	w.pumpUplink()
+	w.ps.onPush(w.id, iter, in.sub) // may unlock pulls on every worker
+	w.drv.Pump(w.eng.Now())
 }
 
-// mirrorPulls converts a push (sub-)message's pieces into one or more pull
-// messages, each at most PullPartition bytes: BytePS serves parameter
+// mirrorPulls converts a push (sub-)message's byte ranges into one or more
+// pull messages, each at most PullPartition bytes: BytePS serves parameter
 // responses per partition regardless of how pushes were batched, so a
 // large pushed block pipelines back to the worker in partition-sized
 // responses that unlock forward segments as they land. Pulls are served on
 // the shard link the pieces were pushed through.
-func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
+func (w *worker) mirrorPulls(iter int, ranges []drive.Range) []*pullMsg {
 	var total float64
-	for _, pc := range pieces {
-		total += pc.bytes
+	for _, rg := range ranges {
+		total += rg.Bytes
 	}
 	lim := w.cfg.PullPartition
 	chunks := 1
@@ -545,7 +421,8 @@ func (w *worker) mirrorPulls(iter int, pieces []pullPiece) []*pullMsg {
 			flush()
 		}
 	}
-	for _, pc := range pieces {
+	for _, rg := range ranges {
+		pc := pullPiece{grad: rg.Grad, off: rg.Off, bytes: rg.Bytes, last: rg.Last}
 		for len(pulls) < chunks-1 && cur.bytes+pc.bytes > target {
 			room := target - cur.bytes
 			if room > 0 {
@@ -584,33 +461,6 @@ func (w *worker) newPullMsg(iter int) *pullMsg {
 }
 
 func (w *worker) recyclePullMsg(pm *pullMsg) { w.pmFree = append(w.pmFree, pm) }
-
-func (w *worker) newSendGroup() *sendGroup {
-	if n := len(w.sgFree); n > 0 {
-		g := w.sgFree[n-1]
-		w.sgFree = w.sgFree[:n-1]
-		*g = sendGroup{}
-		return g
-	}
-	return &sendGroup{}
-}
-
-func (w *worker) recycleSendGroup(g *sendGroup) { w.sgFree = append(w.sgFree, g) }
-
-func (w *worker) newPieces() []pullPiece {
-	if n := len(w.piecesFree); n > 0 {
-		p := w.piecesFree[n-1]
-		w.piecesFree = w.piecesFree[:n-1]
-		return p[:0]
-	}
-	return make([]pullPiece, 0, 8)
-}
-
-func (w *worker) recyclePieces(p []pullPiece) {
-	if cap(p) > 0 {
-		w.piecesFree = append(w.piecesFree, p)
-	}
-}
 
 func (w *worker) newPulls() []*pullMsg {
 	if n := len(w.pullsFree); n > 0 {
@@ -708,7 +558,7 @@ func (w *worker) debugPulled() string {
 			}
 		}
 	}
-	return fmt.Sprintf("missingPulls=%d first=%d pushedSoFar[first]=%v", missing, first, w.pushedSoFar[max(first, 0)])
+	return fmt.Sprintf("missingPulls=%d first=%d pushedSoFar[first]=%v", missing, first, w.drv.Offset(max(first, 0)))
 }
 
 func max(a, b int) int {

@@ -1,0 +1,346 @@
+// Package drive is the transport-agnostic scheduler-driving state machine
+// shared by both execution paths: the discrete-event cluster simulator
+// (virtual clock, netsim links) and the live emulation (wall clock, real
+// parameter-server connections).
+//
+// A Driver owns everything between a schedule.Scheduler and the wire:
+//
+//   - the per-iteration push bookkeeping (BeginIteration resets per-gradient
+//     byte offsets, OnGenerated reports releases, OnIterationEnd feeds the
+//     auto-tuners);
+//   - the fetch gate: a new message is pulled from the scheduler only when
+//     every sub-message of the previously fetched ones has started its
+//     transfer and at least one lane is free — the cross-shard priority
+//     invariant (no lane starts a lower-priority message while a
+//     higher-priority one has unscheduled bytes);
+//   - shard splitting: each scheduler message is sliced by the key→lane map
+//     into per-lane sub-messages with per-gradient byte ranges assigned in
+//     scheduler emission order.
+//
+// The transport provides only a Transmitter: lane busy-state plus a Start
+// hook that puts one Send on the wire and later reports Completed. The
+// cluster's Transmitter schedules netsim transfers; the emulation's replays
+// decisions instantly and executes them on live connections afterwards.
+//
+// Containers cycle through free lists, so a Driver allocates nothing in the
+// steady state (the cluster's hot loop depends on this).
+package drive
+
+import "prophet/internal/schedule"
+
+// Range is one gradient byte range [Off, Off+Bytes) carried by a send.
+// Offsets are cumulative across the iteration's sends, assigned in
+// scheduler emission order.
+type Range struct {
+	Grad       int
+	Off, Bytes float64
+	// Last marks the range that completes the gradient's push.
+	Last bool
+}
+
+// Send is one per-lane sub-message ready for transmission. It is valid only
+// for the duration of Transmitter.Start — the Ranges backing array is
+// recycled once Start returns, so transports must copy what they keep.
+type Send struct {
+	// Lane is the transmitter lane (PS shard) the sub-message ships on.
+	Lane int
+	// Seq numbers scheduler messages in fetch order, monotonic across
+	// iterations (trace tags and the cross-shard invariant test).
+	Seq int
+	// Iter is the iteration whose gradients the message carries.
+	Iter int
+	// Prio is the parent message's priority (schedule.Message.Priority).
+	Prio int
+	// Msg is this lane's slice of the scheduler's message (the whole
+	// message when the driver runs a single lane).
+	Msg schedule.Message
+	// Ranges gives the per-gradient byte offsets of Msg's pieces.
+	Ranges []Range
+
+	group *group
+}
+
+// Transmitter is the transport a Driver dispatches onto: one serial lane
+// per PS shard. Start puts s on lane s.Lane (the driver only calls it when
+// Busy(s.Lane) is false); the transport reports the transfer's end by
+// calling Driver.Completed(lane, now) — synchronously from inside Start is
+// allowed (the emulation's decision replay completes instantly), as is any
+// later event (the simulator's link-done callback).
+type Transmitter interface {
+	// Busy reports whether the lane has a transfer in flight.
+	Busy(lane int) bool
+	// Start begins transmitting s on s.Lane.
+	Start(s *Send)
+}
+
+// Record is one scheduler decision, logged in fetch order when recording is
+// enabled: the cross-path mirror test asserts both executors produce the
+// identical sequence.
+type Record struct {
+	Iter  int
+	Label string
+	Prio  int
+	// Completes lists the gradients the message finishes (Last pieces).
+	Completes []int
+}
+
+// group tracks one scheduler message across its per-lane sub-sends.
+type group struct {
+	msg        schedule.Message
+	iter       int
+	seq        int
+	total      int // sub-messages
+	started    int
+	done       int
+	firstStart float64
+}
+
+// Driver runs one worker's scheduler against a Transmitter.
+type Driver struct {
+	sched   schedule.Scheduler
+	tx      Transmitter
+	shardOf func(int) int
+
+	iter int
+	seq  int
+	// offsets is the cumulative bytes handed to the lanes per gradient
+	// this iteration.
+	offsets []float64
+	// queues[s] holds lane s's not-yet-started sub-messages, in scheduler
+	// emission order. All queues empty ⟺ every fetched message's bytes are
+	// scheduled, which is the fetch gate for the next message.
+	queues   [][]Send
+	inflight []*group
+
+	// Free lists: containers keep their grown capacity across reuse, so
+	// the steady state allocates nothing.
+	gFree  []*group
+	rFree  [][]Range
+	oneSub [1]schedule.Message
+	// scratch is the Send handed to Transmitter.Start: passing a pointer
+	// into an interface method would heap-allocate a fresh Send per
+	// dispatch, so dispatch copies into this reusable slot instead (the
+	// driver is single-threaded and Send is documented as valid only
+	// during Start).
+	scratch Send
+
+	recording bool
+	records   []Record
+}
+
+// New builds a Driver for one worker: sched decides the order, tx moves the
+// bytes across `lanes` serial lanes, shardOf maps a gradient key to its lane
+// (ignored when lanes is 1), and nGrads sizes the per-gradient bookkeeping.
+func New(sched schedule.Scheduler, tx Transmitter, lanes, nGrads int, shardOf func(int) int) *Driver {
+	return &Driver{
+		sched:    sched,
+		tx:       tx,
+		shardOf:  shardOf,
+		offsets:  make([]float64, nGrads),
+		queues:   make([][]Send, lanes),
+		inflight: make([]*group, lanes),
+	}
+}
+
+// Scheduler returns the strategy instance the driver runs.
+func (d *Driver) Scheduler() schedule.Scheduler { return d.sched }
+
+// SetRecording enables the per-decision Record log.
+func (d *Driver) SetRecording(on bool) { d.recording = on }
+
+// Records returns the decision log accumulated so far (fetch order).
+func (d *Driver) Records() []Record { return d.records }
+
+// BeginIteration resets the per-iteration push state and tells the
+// scheduler a new iteration of pushes begins. The caller guarantees all
+// queues are empty (the BSP barrier: forward propagation completes only
+// once every gradient of the previous iteration was pushed).
+func (d *Driver) BeginIteration(iter int) {
+	d.iter = iter
+	for i := range d.offsets {
+		d.offsets[i] = 0
+	}
+	d.sched.BeginIteration(iter)
+}
+
+// Generate reports that gradient g was released by the aggregation layer at
+// time now. Call Pump afterwards to put newly eligible messages on the wire
+// (a burst of releases needs only one Pump).
+func (d *Driver) Generate(g int, now float64) {
+	d.sched.OnGenerated(g, now)
+}
+
+// EndIteration reports the completed iteration's duration to the scheduler
+// (auto-tuner feedback).
+func (d *Driver) EndIteration(dur float64) {
+	d.sched.OnIterationEnd(dur)
+}
+
+// Offset returns the bytes handed to the lanes for gradient g this
+// iteration (diagnostics).
+func (d *Driver) Offset(g int) float64 { return d.offsets[g] }
+
+// Iteration returns the communication epoch: the iteration whose gradients
+// the driver is currently pushing (the last BeginIteration argument).
+// In-flight communication belongs to this epoch even after the caller's
+// compute counter has advanced — pushes of iteration k keep draining during
+// forward propagation of k+1.
+func (d *Driver) Iteration() int { return d.iter }
+
+// Pump keeps the lanes busy while the scheduler has eligible work: queued
+// sub-messages are dispatched on free lanes, and a new message is fetched
+// from the scheduler only when every sub-message of the previously fetched
+// ones has started (the cross-shard priority gate). With one lane this
+// reduces exactly to the single-link behaviour: fetch when the link frees,
+// send, repeat.
+func (d *Driver) Pump(now float64) {
+	for {
+		for s := range d.queues {
+			// A transport that completes sends synchronously (the
+			// emulation's decision replay) frees the lane inside Start, so
+			// keep draining the lane's queue while it stays free.
+			for !d.tx.Busy(s) && len(d.queues[s]) > 0 {
+				d.dispatch(s, now)
+			}
+		}
+		if !d.queuesEmpty() || !d.anyLaneFree() {
+			return
+		}
+		msg, ok := d.sched.Next(now)
+		if !ok {
+			return
+		}
+		d.enqueue(msg)
+	}
+}
+
+// Completed reports that lane's in-flight send finished at time now. When
+// it was the parent message's last outstanding sub-send, the scheduler's
+// OnSent fires before Completed returns. The caller is responsible for
+// pumping afterwards (after its own completion bookkeeping). Returns the
+// iteration the send carried and whether the parent message is done.
+func (d *Driver) Completed(lane int, now float64) (iter int, msgDone bool) {
+	g := d.inflight[lane]
+	d.inflight[lane] = nil
+	g.done++
+	msgDone = g.done == g.total
+	if msgDone {
+		d.sched.OnSent(g.msg, g.firstStart, now)
+	}
+	iter = g.iter
+	if msgDone {
+		d.recycleGroup(g)
+	}
+	return iter, msgDone
+}
+
+// enqueue splits a scheduler message by the key→lane map and queues each
+// sub-message on its lane. Byte offsets are assigned here, in scheduler
+// emission order, so a gradient's ranges land in order regardless of when
+// each lane frees (a key lives on exactly one lane, and per-lane queues are
+// FIFO).
+func (d *Driver) enqueue(msg schedule.Message) {
+	g := d.newGroup()
+	g.msg, g.iter, g.seq = msg, d.iter, d.seq
+	d.seq++
+	if d.recording {
+		d.records = append(d.records, Record{
+			Iter:      d.iter,
+			Label:     msg.Label,
+			Prio:      msg.Priority(),
+			Completes: msg.Completes(),
+		})
+	}
+	var subs []schedule.Message
+	if len(d.queues) == 1 {
+		// Single lane: the message ships whole; skip the split (and its
+		// slice) entirely.
+		d.oneSub[0] = msg
+		subs = d.oneSub[:]
+	} else {
+		subs = schedule.SplitByShard(msg, len(d.queues), d.shardOf)
+	}
+	prio := msg.Priority()
+	for s, sub := range subs {
+		if len(sub.Pieces) == 0 {
+			continue
+		}
+		ranges := d.newRanges()
+		for _, pc := range sub.Pieces {
+			ranges = append(ranges, Range{
+				Grad:  pc.Grad,
+				Off:   d.offsets[pc.Grad],
+				Bytes: pc.Bytes,
+				Last:  pc.Last,
+			})
+			d.offsets[pc.Grad] += pc.Bytes
+		}
+		g.total++
+		d.queues[s] = append(d.queues[s], Send{
+			Lane: s, Seq: g.seq, Iter: g.iter, Prio: prio,
+			Msg: sub, Ranges: ranges, group: g,
+		})
+	}
+}
+
+// dispatch starts lane s's next queued sub-message on the transmitter.
+func (d *Driver) dispatch(s int, now float64) {
+	item := d.queues[s][0]
+	d.queues[s] = d.queues[s][1:]
+	g := item.group
+	if g.started == 0 {
+		g.firstStart = now
+	}
+	g.started++
+	d.inflight[s] = g
+	d.scratch = item
+	d.tx.Start(&d.scratch)
+	// The ranges are consumed by Start (transports copy what they keep);
+	// the backing array is dead once the send is on the wire.
+	d.recycleRanges(item.Ranges)
+}
+
+func (d *Driver) queuesEmpty() bool {
+	for _, q := range d.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Driver) anyLaneFree() bool {
+	for s := range d.queues {
+		if !d.tx.Busy(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Driver) newGroup() *group {
+	if n := len(d.gFree); n > 0 {
+		g := d.gFree[n-1]
+		d.gFree = d.gFree[:n-1]
+		*g = group{}
+		return g
+	}
+	return &group{}
+}
+
+func (d *Driver) recycleGroup(g *group) { d.gFree = append(d.gFree, g) }
+
+func (d *Driver) newRanges() []Range {
+	if n := len(d.rFree); n > 0 {
+		r := d.rFree[n-1]
+		d.rFree = d.rFree[:n-1]
+		return r[:0]
+	}
+	return make([]Range, 0, 8)
+}
+
+func (d *Driver) recycleRanges(r []Range) {
+	if cap(r) > 0 {
+		d.rFree = append(d.rFree, r)
+	}
+}

@@ -23,7 +23,7 @@ func chaosConfig(t *testing.T) Config {
 		Batch:      16,
 		Iterations: 3,
 		LR:         0.1,
-		Policy:     FIFO,
+		Policy:     "fifo",
 		Seed:       7,
 		Deadline:   30 * time.Second,
 	}

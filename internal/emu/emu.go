@@ -5,6 +5,16 @@
 // discrete-event simulator: goroutines instead of events, wall-clock time
 // instead of a virtual clock.
 //
+// Scheduling runs through the same stack as the simulator: a
+// schedule.Scheduler from the shared strategy registry, driven by a
+// drive.Driver. Each iteration the measured backward-pass releases are
+// replayed through the driver (communication is slow relative to backward
+// compute, so the scheduler sees the whole iteration's gradients and then
+// drains — the accumulate-then-reorder regime the strategies were built
+// for), and the resulting message sequence is executed on the live
+// parameter-server connections: a tensor's bytes ship when the scheduler
+// emits the piece that completes it.
+//
 // Because the parameter server aggregates deterministically, every
 // schedule produces the bit-identical training trajectory; what changes is
 // *when* tensors move. The emulation records, per iteration, when tensor 0
@@ -30,22 +40,14 @@ import (
 	"time"
 
 	"prophet/internal/core"
+	"prophet/internal/drive"
 	"prophet/internal/fault"
 	"prophet/internal/nn"
 	"prophet/internal/ps"
+	"prophet/internal/schedule"
 	"prophet/internal/shard"
+	"prophet/internal/strategy"
 	"prophet/internal/transport"
-)
-
-// Policy names the push-ordering strategies the emulation supports.
-type Policy string
-
-// Supported policies: FIFO emission order (default frameworks), strict
-// priority (P3-like, whole tensors), and Prophet's profiled block plan.
-const (
-	FIFO     Policy = "fifo"
-	Priority Policy = "priority"
-	Prophet  Policy = "prophet"
 )
 
 // FailurePolicy selects how the emulation degrades when a worker link
@@ -82,13 +84,21 @@ type Config struct {
 	Iterations int
 	// LR is the SGD learning rate.
 	LR float64
-	// Policy selects the push ordering.
-	Policy Policy
+	// Policy selects the scheduling strategy by its registry name
+	// (internal/strategy): fifo, p3, tictac, bytescheduler,
+	// bytescheduler-tuned, prophet — or a registered alias ("priority"
+	// maps to p3). Default fifo.
+	Policy string
+	// Profile, when set, is the generation pattern Prophet plans against
+	// from iteration 0 onwards. When nil, prophet runs iteration 0 under
+	// FIFO while measuring per-tensor generation times (the paper's
+	// profiling window) and plans from the measurement.
+	Profile *core.Profile
 	// BandwidthBytesPerSec shapes each worker's uplink and downlink
 	// (0 = unshaped).
 	BandwidthBytesPerSec float64
 	// Seed drives model initialization (shared by all workers — they must
-	// start from identical parameters).
+	// start from identical parameters) and the tuner's exploration.
 	Seed uint64
 
 	// Shards runs that many parameter server instances, partitioning
@@ -96,8 +106,8 @@ type Config struct {
 	// single PS of the paper's testbed). Each shard gets its own
 	// rate-shaped connection per worker, so aggregate PS bandwidth scales
 	// with the shard count — the Parameter-Box/BytePS deployment shape.
-	// Push blocks are dispatched under the cross-shard priority gate: no
-	// shard starts a lower-priority block while a higher-priority one
+	// Messages are dispatched under the cross-shard priority gate: no
+	// shard starts a lower-priority message while a higher-priority one
 	// still has undispatched tensors.
 	Shards int
 	// ShardPlacement selects the key→shard map (default round-robin).
@@ -139,13 +149,14 @@ func (c *Config) validate() error {
 	if c.Batch <= 0 || c.Iterations <= 0 || c.LR <= 0 {
 		return fmt.Errorf("emu: batch/iterations/lr must be positive")
 	}
-	switch c.Policy {
-	case FIFO, Priority, Prophet:
-	case "":
-		c.Policy = FIFO
-	default:
-		return fmt.Errorf("emu: unknown policy %q", c.Policy)
+	if c.Policy == "" {
+		c.Policy = "fifo"
 	}
+	canonical, _, err := strategy.Resolve(c.Policy)
+	if err != nil {
+		return fmt.Errorf("emu: %w", err)
+	}
+	c.Policy = canonical
 	switch c.Failure {
 	case FailFast, WaitTimeout, DropWorker:
 	case "":
@@ -183,8 +194,13 @@ type Result struct {
 	Tensor0RoundTrip []time.Duration
 	// IterationTime[i] is worker 0's wall time for iteration i.
 	IterationTime []time.Duration
-	// PushOrder is worker 0's tensor push order in the last iteration.
+	// PushOrder is worker 0's tensor push order in the last iteration: the
+	// order in which the scheduler completed each tensor (Last pieces).
 	PushOrder []int
+	// Messages is worker 0's scheduler decision log across all iterations
+	// (one drive.Record per emitted message, in emission order) — the
+	// cross-path mirror test compares it against the simulator's log.
+	Messages []drive.Record
 	// Duration is the total wall time.
 	Duration time.Duration
 	// FinalParams is worker 0's flattened parameters (for cross-policy
@@ -407,11 +423,43 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 	m := nn.NewMLP(cfg.Layers, cfg.Seed)
 	nTensors := m.NumTensors()
 	shardStride := cfg.Workers * cfg.Batch
+	sizes := make([]float64, nTensors)
+	for idx, t := range m.Tensors() {
+		sizes[idx] = float64(8 * t.Elems)
+	}
 
-	// Prophet's plan is built once from a profiling pass (iteration 0
-	// runs FIFO while measuring per-tensor generation times, like the
-	// paper's profiling window).
-	var plan *core.Plan
+	params := strategy.Params{
+		Sizes:   sizes,
+		Seed:    cfg.Seed,
+		Worker:  w,
+		Profile: cfg.Profile,
+	}
+	if bw := cfg.BandwidthBytesPerSec; bw > 0 {
+		params.Bandwidth = func() float64 { return bw }
+	}
+
+	col := &collector{}
+	newDriver := func(s schedule.Scheduler) *drive.Driver {
+		d := drive.New(s, col, client.Shards(), nTensors, client.ShardOf)
+		col.drv = d
+		if w == 0 {
+			d.SetRecording(true)
+		}
+		return d
+	}
+
+	// Prophet without an explicit profile needs a measured one: the driver
+	// stays nil through iteration 0 (which runs FIFO while profiling, like
+	// the paper's profiling window) and is built from the measurement.
+	var drv *drive.Driver
+	if cfg.Policy != "prophet" || cfg.Profile != nil {
+		s, err := strategy.New(cfg.Policy, params)
+		if err != nil {
+			return fmt.Errorf("emu: worker %d: %w", w, err)
+		}
+		drv = newDriver(s)
+	}
+	var records []drive.Record
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		iterStart := time.Now()
@@ -426,19 +474,27 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 			events = append(events, genEvent{idx, time.Since(bwdStart)})
 		})
 
-		blocks := pushBlocks(cfg.Policy, events, plan, nTensors)
+		d := drv
+		var profiling *drive.Driver
+		if d == nil {
+			profiling = newDriver(schedule.NewFIFO(sizes))
+			d = profiling
+		}
+		sends, err := decide(d, col, iter, events, nTensors)
+		if err != nil {
+			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
+		}
 		if w == 0 && iter == cfg.Iterations-1 {
-			res.PushOrder = flatten(blocks, nTensors)
+			res.PushOrder = pushOrderOf(sends, nTensors)
 		}
 
-		// Push block by block in the policy's order; each tensor's pull
-		// request goes out inline right after its push (the request frame
-		// is tiny), so responses pipeline with later pushes — a tensor
-		// pushed early (Prophet/priority put tensor 0 first) completes its
-		// round trip early. A block's tensors ship in parallel on their
-		// shard links.
+		// Execute the decided sends: each tensor's push — and its inline
+		// pull request (the request frame is tiny) — goes out when the
+		// scheduler completes it, so responses pipeline with later pushes;
+		// a tensor completed early (priority strategies put tensor 0
+		// first) finishes its round trip early.
 		chans := make([]<-chan ps.PullResult, nTensors)
-		if err := pushSharded(client, iter, m, blocks, chans); err != nil {
+		if err := pushSends(client, iter, m, sends, chans); err != nil {
 			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
 		}
 		// Collect in priority order: tensor 0's arrival is what would
@@ -455,23 +511,37 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 			}
 		}
 		m.Step(cfg.LR)
+		d.EndIteration(time.Since(iterStart).Seconds())
 
 		if w == 0 {
 			res.Losses = append(res.Losses, m.Loss(cfg.Dataset.X, cfg.Dataset.Labels))
 			res.IterationTime = append(res.IterationTime, time.Since(iterStart))
 		}
 
-		// Build Prophet's plan after the profiling iteration.
-		if cfg.Policy == Prophet && plan == nil {
-			p, err := planFromProfile(m, events, cfg.BandwidthBytesPerSec)
-			if err != nil {
-				return err
+		// Build Prophet's scheduler after the profiling iteration.
+		if profiling != nil {
+			if w == 0 {
+				records = append(records, profiling.Records()...)
 			}
-			plan = p
+			prof, err := profileFromEvents(sizes, events)
+			if err != nil {
+				return fmt.Errorf("emu: worker %d: %w", w, err)
+			}
+			pp := params
+			pp.Profile = prof
+			s, err := strategy.New("prophet", pp)
+			if err != nil {
+				return fmt.Errorf("emu: worker %d: %w", w, err)
+			}
+			drv = newDriver(s)
 		}
 	}
 
 	if w == 0 {
+		if drv != nil {
+			records = append(records, drv.Records()...)
+		}
+		res.Messages = records
 		res.FinalAccuracy = m.Accuracy(cfg.Dataset.X, cfg.Dataset.Labels)
 		for idx := 0; idx < nTensors; idx++ {
 			res.FinalParams = append(res.FinalParams, m.ParamData(idx)...)
@@ -487,79 +557,89 @@ type genEvent struct {
 	at  time.Duration
 }
 
-// pushOrder decides the tensor push order for one iteration.
-func pushOrder(policy Policy, events []genEvent, plan *core.Plan, nTensors int) []int {
+// wireSend is one decided sub-message mapped onto the wire protocol: the
+// tensors whose pushes it completes, on one shard connection. A scheduler
+// message may carry partial pieces of a tensor (P3 partitions,
+// ByteScheduler credit slices); the live protocol pushes whole tensors, so
+// a tensor ships with the send carrying its completing (Last) piece.
+type wireSend struct {
+	lane    int
+	tensors []int
+}
+
+// collector is the decision-replay Transmitter: lanes are never busy and a
+// send "completes" the moment it starts, so the driver unspools the
+// scheduler's entire decision sequence synchronously. The recorded sends
+// are then executed for real on the shard connections by pushSends.
+type collector struct {
+	drv       *drive.Driver
+	sends     []wireSend
+	completed int
+}
+
+func (c *collector) reset() {
+	c.sends = c.sends[:0]
+	c.completed = 0
+}
+
+// Busy implements drive.Transmitter: replay lanes are never busy.
+func (c *collector) Busy(int) bool { return false }
+
+// Start implements drive.Transmitter: it records the send and completes it
+// immediately (the replay has no wire).
+func (c *collector) Start(s *drive.Send) {
+	ws := wireSend{lane: s.Lane}
+	for _, rg := range s.Ranges {
+		if rg.Last {
+			ws.tensors = append(ws.tensors, rg.Grad)
+			c.completed++
+		}
+	}
+	c.sends = append(c.sends, ws)
+	c.drv.Completed(s.Lane, 0)
+}
+
+// decide replays one iteration's gradient releases through the driver and
+// returns the ordered wire sends. The live path's communication is slow
+// relative to backward compute, so the whole backward pass forms one
+// release burst: the scheduler sees every gradient generated, then drains.
+func decide(d *drive.Driver, col *collector, iter int, events []genEvent, nTensors int) ([]wireSend, error) {
+	col.reset()
+	d.BeginIteration(iter)
+	var last float64
+	for _, e := range events {
+		last = e.at.Seconds()
+		d.Generate(e.idx, last)
+	}
+	d.Pump(last)
+	if col.completed != nTensors {
+		return nil, fmt.Errorf("scheduler %s completed %d of %d gradients",
+			d.Scheduler().Name(), col.completed, nTensors)
+	}
+	return col.sends, nil
+}
+
+// pushOrderOf flattens the decided sends into the tensor completion order.
+func pushOrderOf(sends []wireSend, nTensors int) []int {
 	order := make([]int, 0, nTensors)
-	switch policy {
-	case Priority:
-		for _, e := range events {
-			order = append(order, e.idx)
-		}
-		sort.Ints(order)
-	case Prophet:
-		if plan == nil { // profiling iteration runs FIFO
-			for _, e := range events {
-				order = append(order, e.idx)
-			}
-			break
-		}
-		// A partitioned tensor's spans can straddle two blocks, so the
-		// same gradient may appear in several units; the wire protocol
-		// pushes whole tensors, so emit each at its first occurrence —
-		// a duplicate push is a protocol error the server rejects.
-		seen := make([]bool, nTensors)
-		for _, u := range plan.Units {
-			for _, g := range u.Grads() {
-				if !seen[g] {
-					seen[g] = true
-					order = append(order, g)
-				}
-			}
-		}
-	default: // FIFO: emission order
-		for _, e := range events {
-			order = append(order, e.idx)
-		}
+	for _, s := range sends {
+		order = append(order, s.tensors...)
 	}
 	return order
 }
 
-// pushBlocks groups the iteration's pushes into priority-ordered blocks:
-// Prophet with a plan uses its assembled gradient blocks (tensors within a
-// block may ship in parallel across shard links), every other policy — and
-// Prophet's profiling iteration — degenerates to one tensor per block in
-// the policy's push order.
-func pushBlocks(policy Policy, events []genEvent, plan *core.Plan, nTensors int) [][]int {
-	if policy == Prophet && plan != nil {
-		return plan.Blocks()
-	}
-	order := pushOrder(policy, events, plan, nTensors)
-	blocks := make([][]int, len(order))
-	for i, idx := range order {
-		blocks[i] = []int{idx}
-	}
-	return blocks
-}
-
-func flatten(blocks [][]int, nTensors int) []int {
-	order := make([]int, 0, nTensors)
-	for _, b := range blocks {
-		order = append(order, b...)
-	}
-	return order
-}
-
-// pushSharded dispatches the blocks under the cross-shard priority gate.
-// One writer goroutine per shard performs the actual Push/PullAsync calls;
-// the coordinator hands a block's tensors to their shard writers over
-// unbuffered channels, so a handoff completes only when the writer has
-// accepted (started) the tensor. All of block k's tensors are therefore
-// started before any tensor of block k+1 is offered — no shard starts a
-// lower-priority block while a higher-priority one has undispatched
-// tensors — while tensors of one block flow in parallel on their shard
-// links. With a single shard this degenerates to the strict sequential
-// push-then-pull-request loop of the unsharded emulation.
-func pushSharded(client *ps.ShardedClient, iter int, m *nn.MLP, blocks [][]int, chans []<-chan ps.PullResult) error {
+// pushSends executes the decided sends under the cross-shard priority
+// gate. One writer goroutine per shard performs the actual Push/PullAsync
+// calls; the coordinator hands each send's tensors to its shard writer over
+// an unbuffered channel, so a handoff completes only when the writer has
+// accepted (started) the tensor. All of send k's tensors are therefore
+// started before any tensor of send k+1 is offered — no shard starts a
+// lower-priority message while a higher-priority one has undispatched
+// tensors — while sends of one scheduler message flow in parallel on their
+// shard links (the driver queues a message's per-shard sub-sends
+// back-to-back). With a single shard this degenerates to the strict
+// sequential push-then-pull-request loop of the unsharded emulation.
+func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult) error {
 	shards := client.Shards()
 	jobs := make([]chan int, shards)
 	errs := make([]error, shards)
@@ -586,9 +666,9 @@ func pushSharded(client *ps.ShardedClient, iter int, m *nn.MLP, blocks [][]int, 
 			}
 		}(s)
 	}
-	for _, block := range blocks {
-		for _, idx := range block {
-			jobs[client.ShardOf(idx)] <- idx
+	for _, snd := range sends {
+		for _, idx := range snd.tensors {
+			jobs[snd.lane] <- idx
 		}
 	}
 	for s := 0; s < shards; s++ {
@@ -609,24 +689,16 @@ func tensorSizes(layers []int, seed uint64) []float64 {
 	return sizes
 }
 
-// planFromProfile runs Algorithm 1 over measured generation times.
-func planFromProfile(m *nn.MLP, events []genEvent, bandwidth float64) (*core.Plan, error) {
-	n := m.NumTensors()
-	gen := make([]float64, n)
-	bytes := make([]float64, n)
+// profileFromEvents builds Prophet's input profile from measured
+// generation times.
+func profileFromEvents(sizes []float64, events []genEvent) (*core.Profile, error) {
+	gen := make([]float64, len(sizes))
 	for _, e := range events {
 		gen[e.idx] = e.at.Seconds()
 	}
-	for idx, t := range m.Tensors() {
-		bytes[idx] = float64(8 * t.Elems)
-	}
-	prof, err := core.NewProfile(gen, bytes, 1e-6)
+	prof, err := core.NewProfile(gen, sizes, 1e-6)
 	if err != nil {
-		return nil, fmt.Errorf("emu: profile: %w", err)
+		return nil, fmt.Errorf("profile: %w", err)
 	}
-	bw := bandwidth
-	if bw <= 0 {
-		bw = 1e9 // unshaped: any large value, plan degenerates to groups
-	}
-	return core.Assemble(prof, core.Config{Bandwidth: bw, Partition: 64e3})
+	return prof, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"prophet/internal/nn"
+	"prophet/internal/strategy"
 )
 
 func baseConfig() Config {
@@ -64,7 +65,7 @@ func TestAllPoliciesIdenticalTrajectory(t *testing.T) {
 	// not change the math, only the timing.
 	var params [][]float64
 	var losses [][]float64
-	for _, p := range []Policy{FIFO, Priority, Prophet} {
+	for _, p := range strategy.Names() {
 		cfg := baseConfig()
 		cfg.Policy = p
 		res, err := Run(cfg)
@@ -93,7 +94,7 @@ func TestAllPoliciesIdenticalTrajectory(t *testing.T) {
 
 func TestPushOrderReflectsPolicy(t *testing.T) {
 	fifoCfg := baseConfig()
-	fifoCfg.Policy = FIFO
+	fifoCfg.Policy = "fifo"
 	fifoRes, err := Run(fifoCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -107,8 +108,11 @@ func TestPushOrderReflectsPolicy(t *testing.T) {
 		t.Fatalf("FIFO first push = tensor %d, want %d (last layer bias)", fifoRes.PushOrder[0], n-1)
 	}
 
+	// "priority" is the live path's historical name — the registry keeps it
+	// as a deprecated alias for p3, whose whole-tensor push order under the
+	// default 4 MB partition is ascending by tensor index.
 	prioCfg := baseConfig()
-	prioCfg.Policy = Priority
+	prioCfg.Policy = "priority"
 	prioRes, err := Run(prioCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +124,7 @@ func TestPushOrderReflectsPolicy(t *testing.T) {
 
 func TestProphetPushOrderCoversAllTensors(t *testing.T) {
 	cfg := baseConfig()
-	cfg.Policy = Prophet
+	cfg.Policy = "prophet"
 	cfg.BandwidthBytesPerSec = 20e6
 	res, err := Run(cfg)
 	if err != nil {
@@ -145,7 +149,7 @@ func TestProphetPushOrderCoversAllTensors(t *testing.T) {
 // tensors — a repeat push is a protocol error that used to kill the run.
 func TestProphetPartitionedTensorsPushOnce(t *testing.T) {
 	cfg := baseConfig()
-	cfg.Policy = Prophet
+	cfg.Policy = "prophet"
 	cfg.Layers = []int{64, 256, 8} // 64x256 weight = 131 KB, partitioned
 	cfg.Dataset = nn.Blobs(256, 64, 8, 11)
 	cfg.Iterations = 3

@@ -1,0 +1,142 @@
+package emu_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"prophet/internal/cluster"
+	"prophet/internal/core"
+	"prophet/internal/drive"
+	"prophet/internal/emu"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/nn"
+	"prophet/internal/stepwise"
+	"prophet/internal/strategy"
+)
+
+// TestMirrorBothPathsSameDecisions is the cross-path tentpole check: the
+// discrete-event simulator and the live emulation drive their schedulers
+// through the same drive.Driver, so under a configuration where both paths
+// present the scheduler with the identical call sequence, every registered
+// strategy must produce the identical message sequence (label, priority,
+// completed gradients) on both.
+//
+// The configuration pins the sequence down:
+//
+//   - The emulated MLP ({8,16,4} → 4 tensors of 1024/128/512/32 bytes,
+//     8 bytes per float64 element) is mirrored in the simulator by a custom
+//     model with twice the elements (the simulator's tensors are float32).
+//   - The live path replays each iteration as one burst — every gradient
+//     generated in backward emission order (descending), then drained. The
+//     simulator matches it with a single aggregation bucket listing all
+//     gradients in descending order: one release burst, same OnGenerated
+//     order, and the drain interleaves Next/OnSent identically because the
+//     uplink (1 GB/s, no setup or ramp cost) finishes each transfer long
+//     before the 1-second compute segments end.
+//   - Prophet plans from a shared explicit profile on both paths, and the
+//     simulator's bandwidth monitor never updates (all transfers are under
+//     its 64 KB sampling floor), so both sides plan at exactly 1 GB/s.
+//   - Four iterations keep the credit auto-tuner inside its deterministic
+//     window: its first probe (4th BeginIteration) is drawn from the seeded
+//     rng both paths share; only a 5th iteration could see the paths'
+//     different wall-clock durations feed back into decisions.
+func TestMirrorBothPathsSameDecisions(t *testing.T) {
+	const (
+		seed  = uint64(5)
+		iters = 4
+	)
+	layers := []int{8, 16, 4}
+	sizes := []float64{1024, 128, 512, 32} // W0, b0, W1, b1 at 8 bytes/elem
+	n := len(sizes)
+
+	gen := make([]float64, n)
+	for i := range gen {
+		gen[i] = float64(n - i)
+	}
+	prof, err := core.NewProfile(gen, sizes, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grads := make([]model.Gradient, n)
+	desc := make([]int, n)
+	for i, b := range sizes {
+		grads[i] = model.Gradient{
+			Index: i,
+			Layer: fmt.Sprintf("t%d", i),
+			Elems: int64(b) / model.BytesPerParam,
+		}
+		desc[i] = n - 1 - i
+	}
+	simModel := &model.Model{Name: "mirror-mlp", Grads: grads, Efficiency: 1}
+
+	for _, name := range strategy.Names() {
+		t.Run(name, func(t *testing.T) {
+			factory, err := cluster.ByName(name, simModel, cluster.Options{
+				Seed:    seed,
+				Profile: prof,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := cluster.Run(cluster.Config{
+				Model:    simModel,
+				Hardware: model.Hardware{FLOPS: 1e12, LayerOverhead: 1.0},
+				Batch:    32,
+				Workers:  1,
+				// One bucket, listed in backward emission order: all
+				// gradients release together when the first backward
+				// segment completes, with OnGenerated order matching the
+				// emulation's descending emission.
+				Agg: stepwise.Buckets{Groups: [][]int{desc}},
+				Uplink: func(int) netsim.LinkConfig {
+					return netsim.LinkConfig{Trace: netsim.Const(1e9)}
+				},
+				Scheduler:      factory,
+				Iterations:     iters,
+				Jitter:         -1,
+				Seed:           seed,
+				RecordMessages: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			emuRes, err := emu.Run(emu.Config{
+				Workers:              1,
+				Layers:               layers,
+				Dataset:              nn.Blobs(256, 8, 4, 11),
+				Batch:                32,
+				Iterations:           iters,
+				LR:                   0.1,
+				Policy:               name,
+				Profile:              prof,
+				BandwidthBytesPerSec: 1e9,
+				Seed:                 seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			compareRecords(t, simRes.Messages, emuRes.Messages)
+		})
+	}
+}
+
+func compareRecords(t *testing.T, sim, emu []drive.Record) {
+	t.Helper()
+	if len(sim) == 0 || len(emu) == 0 {
+		t.Fatalf("empty decision log: simulator %d records, emulation %d", len(sim), len(emu))
+	}
+	if len(sim) != len(emu) {
+		t.Fatalf("simulator made %d decisions, emulation %d\nsim: %v\nemu: %v",
+			len(sim), len(emu), sim, emu)
+	}
+	for i := range sim {
+		if !reflect.DeepEqual(sim[i], emu[i]) {
+			t.Fatalf("decision %d diverged:\n  simulator: %+v\n  emulation: %+v", i, sim[i], emu[i])
+		}
+	}
+}

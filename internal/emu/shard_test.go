@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"prophet/internal/shard"
+	"prophet/internal/strategy"
 )
 
 // TestShardedTrajectoryMatchesSinglePS is the live-path tentpole check:
@@ -16,7 +17,7 @@ func TestShardedTrajectoryMatchesSinglePS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []Policy{FIFO, Priority, Prophet} {
+	for _, p := range strategy.Names() {
 		for _, placement := range []shard.Placement{shard.RoundRobin, shard.SizeBalanced} {
 			cfg := baseConfig()
 			cfg.Policy = p
@@ -47,7 +48,7 @@ func TestShardedTrajectoryMatchesSinglePS(t *testing.T) {
 func TestShardedDeterministicPerSeed(t *testing.T) {
 	run := func() *Result {
 		cfg := baseConfig()
-		cfg.Policy = Prophet
+		cfg.Policy = "prophet"
 		cfg.Shards = 2
 		cfg.ShardPlacement = shard.SizeBalanced
 		res, err := Run(cfg)
@@ -71,7 +72,7 @@ func TestShardedDeterministicPerSeed(t *testing.T) {
 
 func TestShardedPushOrderStillCoversAllTensors(t *testing.T) {
 	cfg := baseConfig()
-	cfg.Policy = Prophet
+	cfg.Policy = "prophet"
 	cfg.Shards = 2
 	res, err := Run(cfg)
 	if err != nil {

@@ -123,6 +123,7 @@ func All() []Spec {
 		{"ext-allreduce", "extension", "PS+Prophet vs ring all-reduce with and without fusion", func(c Config) (Result, error) { return ExtAllReduce(c) }},
 		{"ext-fault", "Sec. 7", "Schedulers under injected link faults: straggler drop-and-renormalize vs fail-fast", func(c Config) (Result, error) { return ExtFault(c) }},
 		{"ext-shard", "extension", "Key-sharded multi-PS: FIFO/ByteScheduler/Prophet at 1/2/4 shards, both paths", func(c Config) (Result, error) { return ExtShard(c) }},
+		{"ext-strategies", "extension", "Every registry strategy (incl. TicTac) on one configuration", func(c Config) (Result, error) { return ExtStrategies(c) }},
 	}
 }
 

@@ -38,7 +38,7 @@ type ExtFaultResult struct {
 
 // ExtFaultRow is one live-emulation run under a straggler fault.
 type ExtFaultRow struct {
-	Policy    emu.Policy
+	Policy    string
 	Duration  time.Duration
 	FinalLoss float64
 	Dropped   []int
@@ -98,7 +98,7 @@ func ExtFault(cfg Config) (*ExtFaultResult, error) {
 		StragglerTimeout: 100 * time.Millisecond,
 		Deadline:         30 * time.Second,
 	}
-	for _, pol := range []emu.Policy{emu.FIFO, emu.Priority, emu.Prophet} {
+	for _, pol := range []string{"fifo", "p3", "bytescheduler", "prophet"} {
 		c := base
 		c.Policy = pol
 		res, err := emu.Run(c)
@@ -120,7 +120,7 @@ func ExtFault(cfg Config) (*ExtFaultResult, error) {
 	// Fail-fast: worker 1's connection drops mid-push; the run must fail
 	// with a descriptive error, never hang.
 	ff := base
-	ff.Policy = emu.FIFO
+	ff.Policy = "fifo"
 	ff.Faults = map[int]fault.Spec{1: fault.DropAt(600)}
 	ff.Failure = emu.FailFast
 	ff.PullTimeout = 2 * time.Second

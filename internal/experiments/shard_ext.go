@@ -52,7 +52,7 @@ type ExtShardSimRow struct {
 
 // ExtShardEmuRow is one live-emulation run.
 type ExtShardEmuRow struct {
-	Policy    emu.Policy
+	Policy    string
 	Shards    int
 	Duration  time.Duration
 	FinalLoss float64
@@ -181,8 +181,8 @@ func ExtShard(cfg Config) (*ExtShardResult, error) {
 		return nil, fmt.Errorf("ext-shard: single-PS reference: %w", err)
 	}
 	out.EmuTrajectoriesMatch = true
-	policies := []emu.Policy{emu.FIFO, emu.Priority, emu.Prophet}
-	emuResults, err := runner.Map(cfg.Jobs, policies, func(_ int, pol emu.Policy) (*emu.Result, error) {
+	policies := []string{"fifo", "p3", "bytescheduler", "prophet"}
+	emuResults, err := runner.Map(cfg.Jobs, policies, func(_ int, pol string) (*emu.Result, error) {
 		c := base
 		c.Policy = pol
 		c.Shards = 2

@@ -1,0 +1,222 @@
+// Package strategy is the shared name→factory registry for communication
+// scheduling strategies. Both execution paths — the discrete-event cluster
+// simulator and the live emulation — and both binaries' -policy flags build
+// their schedule.Scheduler instances through it, so every strategy is
+// available under identical names everywhere, and a new strategy registered
+// here lands in both paths by construction.
+//
+// Canonical names: fifo, p3, tictac, bytescheduler, bytescheduler-tuned,
+// prophet. "priority" survives as a deprecated alias for p3 (the live
+// emulation's historical name for its whole-tensor priority order).
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"prophet/internal/core"
+	"prophet/internal/schedule"
+)
+
+// Default strategy parameters: the paper's testbed configuration (P3
+// partition and ByteScheduler credit 4 MB, Sec. 5.1; tuner exploration
+// bounds 1–16 MB as in Fig. 3(b)).
+const (
+	DefaultPartition = 4e6
+	DefaultCredit    = 4e6
+	DefaultMinCredit = 1e6
+	DefaultMaxCredit = 16e6
+)
+
+// Params carries everything a strategy constructor may need. Sizes is
+// required by every strategy; the remaining fields have per-strategy
+// defaults or are ignored by strategies that do not use them.
+type Params struct {
+	// Sizes is the per-gradient wire size in bytes.
+	Sizes []float64
+	// Partition is P3's slice size in bytes (default DefaultPartition).
+	Partition float64
+	// Credit is ByteScheduler's credit in bytes (default DefaultCredit).
+	Credit float64
+	// MinCredit and MaxCredit bound the credit auto-tuner's exploration
+	// (defaults DefaultMinCredit/DefaultMaxCredit).
+	MinCredit, MaxCredit float64
+	// Seed drives the tuner's exploration; Worker decorrelates per-worker
+	// tuner instances (each worker derives its own stream from Seed).
+	Seed   uint64
+	Worker int
+	// Profile is the profiled generation pattern Prophet plans against
+	// (required for prophet).
+	Profile *core.Profile
+	// Bandwidth is Prophet's bandwidth source in bytes/sec, polled each
+	// iteration (default: a constant 1e9 — effectively "network never the
+	// planner's constraint").
+	Bandwidth func() float64
+	// Overhead returns Prophet's fixed per-message wire cost in seconds at
+	// a given bandwidth (optional).
+	Overhead func(bw float64) float64
+}
+
+// Factory builds one scheduler instance from parameters.
+type Factory func(p Params) (schedule.Scheduler, error)
+
+var (
+	factories = map[string]Factory{}
+	aliases   = map[string]string{}
+)
+
+// Register adds a strategy under its canonical name. It panics on a
+// duplicate: registration happens at init time, where a collision is a
+// programming error.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("strategy: empty registration")
+	}
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("strategy: duplicate registration of %q", name))
+	}
+	if _, dup := aliases[name]; dup {
+		panic(fmt.Sprintf("strategy: %q already registered as an alias", name))
+	}
+	factories[name] = f
+}
+
+// RegisterAlias maps an alternate (deprecated) name onto a canonical one.
+func RegisterAlias(alias, canonical string) {
+	if _, ok := factories[canonical]; !ok {
+		panic(fmt.Sprintf("strategy: alias %q targets unknown strategy %q", alias, canonical))
+	}
+	if _, dup := factories[alias]; dup {
+		panic(fmt.Sprintf("strategy: alias %q collides with a registered strategy", alias))
+	}
+	aliases[alias] = canonical
+}
+
+// Resolve maps a user-supplied name to its canonical strategy name.
+// deprecated reports that an alias was used (callers warn once on stderr).
+func Resolve(name string) (canonical string, deprecated bool, err error) {
+	if _, ok := factories[name]; ok {
+		return name, false, nil
+	}
+	if c, ok := aliases[name]; ok {
+		return c, true, nil
+	}
+	return "", false, fmt.Errorf("strategy: unknown strategy %q (known: %v)", name, Names())
+}
+
+// New builds a scheduler by name (canonical or alias).
+func New(name string, p Params) (schedule.Scheduler, error) {
+	canonical, _, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return factories[canonical](p)
+}
+
+// Names returns the canonical strategy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aliases returns the deprecated alias→canonical pairs, alias-sorted.
+func Aliases() [][2]string {
+	out := make([][2]string, 0, len(aliases))
+	for a, c := range aliases {
+		out = append(out, [2]string{a, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func (p Params) partition() float64 {
+	if p.Partition > 0 {
+		return p.Partition
+	}
+	return DefaultPartition
+}
+
+func (p Params) credit() float64 {
+	if p.Credit > 0 {
+		return p.Credit
+	}
+	return DefaultCredit
+}
+
+func (p Params) creditBounds() (float64, float64) {
+	min, max := p.MinCredit, p.MaxCredit
+	if min <= 0 {
+		min = DefaultMinCredit
+	}
+	if max <= 0 {
+		max = DefaultMaxCredit
+	}
+	return min, max
+}
+
+// tunerSeed derives the per-worker tuner stream (the same formula the
+// cluster's TunedByteSchedulerFactory has always used, so pre-registry
+// experiment results are reproduced exactly).
+func (p Params) tunerSeed() uint64 {
+	return p.Seed + uint64(p.Worker)*31 + 11
+}
+
+// needSizes rejects a sizes-less Params for the strategies that slice
+// gradients themselves (Prophet instead plans from its profile's sizes).
+func needSizes(name string, p Params) error {
+	if len(p.Sizes) == 0 {
+		return fmt.Errorf("strategy: %s needs gradient sizes (Params.Sizes)", name)
+	}
+	return nil
+}
+
+func init() {
+	Register("fifo", func(p Params) (schedule.Scheduler, error) {
+		if err := needSizes("fifo", p); err != nil {
+			return nil, err
+		}
+		return schedule.NewFIFO(p.Sizes), nil
+	})
+	Register("p3", func(p Params) (schedule.Scheduler, error) {
+		if err := needSizes("p3", p); err != nil {
+			return nil, err
+		}
+		return schedule.NewP3(p.Sizes, p.partition()), nil
+	})
+	Register("tictac", func(p Params) (schedule.Scheduler, error) {
+		if err := needSizes("tictac", p); err != nil {
+			return nil, err
+		}
+		return schedule.NewTicTac(p.Sizes), nil
+	})
+	Register("bytescheduler", func(p Params) (schedule.Scheduler, error) {
+		if err := needSizes("bytescheduler", p); err != nil {
+			return nil, err
+		}
+		return schedule.NewByteScheduler(p.Sizes, p.credit()), nil
+	})
+	Register("bytescheduler-tuned", func(p Params) (schedule.Scheduler, error) {
+		if err := needSizes("bytescheduler-tuned", p); err != nil {
+			return nil, err
+		}
+		b := schedule.NewByteScheduler(p.Sizes, p.credit())
+		min, max := p.creditBounds()
+		b.EnableTuning(min, max, p.tunerSeed())
+		return b, nil
+	})
+	Register("prophet", func(p Params) (schedule.Scheduler, error) {
+		if p.Profile == nil {
+			return nil, fmt.Errorf("strategy: prophet needs a profile (Params.Profile)")
+		}
+		bw := p.Bandwidth
+		if bw == nil {
+			bw = func() float64 { return 1e9 }
+		}
+		return schedule.NewProphet(p.Profile, bw, p.Overhead)
+	})
+	RegisterAlias("priority", "p3")
+}

@@ -1,0 +1,61 @@
+package strategy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNamesCoverTheRegistry(t *testing.T) {
+	want := []string{"bytescheduler", "bytescheduler-tuned", "fifo", "p3", "prophet", "tictac"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestResolveCanonicalAliasUnknown(t *testing.T) {
+	if c, dep, err := Resolve("p3"); err != nil || dep || c != "p3" {
+		t.Fatalf("Resolve(p3) = %q, %v, %v", c, dep, err)
+	}
+	if c, dep, err := Resolve("priority"); err != nil || !dep || c != "p3" {
+		t.Fatalf("Resolve(priority) = %q, %v, %v; want p3 with deprecated=true", c, dep, err)
+	}
+	if _, _, err := Resolve("magic"); err == nil {
+		t.Fatal("Resolve(magic) succeeded; want error")
+	}
+	if got := Aliases(); !reflect.DeepEqual(got, [][2]string{{"priority", "p3"}}) {
+		t.Fatalf("Aliases() = %v", got)
+	}
+}
+
+func TestNewValidatesParams(t *testing.T) {
+	// Every sizing strategy rejects empty sizes; prophet instead demands a
+	// profile.
+	for _, name := range []string{"fifo", "p3", "tictac", "bytescheduler", "bytescheduler-tuned"} {
+		if _, err := New(name, Params{}); err == nil {
+			t.Errorf("New(%s) without sizes succeeded; want error", name)
+		}
+		if s, err := New(name, Params{Sizes: []float64{100, 200}}); err != nil || s == nil {
+			t.Errorf("New(%s) with sizes: %v", name, err)
+		}
+	}
+	if _, err := New("prophet", Params{Sizes: []float64{100}}); err == nil {
+		t.Error("New(prophet) without profile succeeded; want error")
+	}
+	if _, err := New("nope", Params{}); err == nil {
+		t.Error("New(nope) succeeded; want error")
+	}
+}
+
+func TestAliasBuildsCanonicalStrategy(t *testing.T) {
+	a, err := New("priority", Params{Sizes: []float64{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("p3", Params{Sizes: []float64{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() {
+		t.Fatalf("alias built %q, canonical built %q", a.Name(), b.Name())
+	}
+}
