@@ -3,16 +3,16 @@
 GO ?= go
 
 # Packages with real goroutine concurrency (live PS path + fault layer,
-# profile cache, parallel sweep runner) plus the shared drive layer both
-# execution paths schedule through.
-RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner
+# profile cache, parallel sweep runner, probe observers) plus the shared
+# drive layer both execution paths schedule through.
+RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner ./internal/probe
 
 # Native fuzz targets and their packages (go runs one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 build vet test lint race bench bench-json fuzz
+.PHONY: check tier1 build vet test lint race bench bench-json fuzz trace-smoke
 
-check: tier1 lint race
+check: tier1 lint race trace-smoke
 
 tier1: build vet test
 
@@ -35,6 +35,17 @@ lint:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# End-to-end trace export gate: run prophet-trace on both execution paths
+# and validate the Chrome trace JSON (structure + required fields).
+trace-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) run ./cmd/prophet-trace -path sim -policy fifo -iters 3 \
+		-out $$tmp/sim.json -attrib $$tmp/sim_attrib.txt && \
+	$(GO) run ./cmd/prophet-trace -path emu -policy prophet -iters 4 \
+		-out $$tmp/emu.json -attrib $$tmp/emu_attrib.txt && \
+	$(GO) run ./cmd/tracecheck $$tmp/sim.json $$tmp/emu.json && \
+	test -s $$tmp/sim_attrib.txt && test -s $$tmp/emu_attrib.txt
 
 # Reproducible single-shot benchmark pass; see README for regenerating
 # bench_results.txt.

@@ -7,16 +7,20 @@
 // Usage:
 //
 //	prophet-emu -workers 3 -policy prophet -bandwidth 4e6 -iters 15
+//	prophet-emu -debug-addr 127.0.0.1:6060 -iters 200   # live /metrics JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"prophet/internal/emu"
 	"prophet/internal/nn"
+	"prophet/internal/probe"
 	"prophet/internal/shard"
 	"prophet/internal/strategy"
 )
@@ -32,11 +36,29 @@ func main() {
 		seed      = flag.Uint64("seed", 21, "seed")
 		shards    = flag.Int("shards", 1, "parameter server shards (key-sharded multi-PS)")
 		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics as JSON on this address (e.g. 127.0.0.1:6060/metrics) and dump them after the run")
 	)
 	flag.Parse()
 
 	if _, deprecated, err := strategy.Resolve(*policy); err == nil && deprecated {
 		fmt.Fprintf(os.Stderr, "warning: -policy %s is deprecated; use its canonical name (see -help)\n", *policy)
+	}
+
+	// The registry exists only when requested: a nil *probe.Metrics keeps
+	// the emulation on its unobserved fast path.
+	var m *probe.Metrics
+	if *debugAddr != "" {
+		m = probe.NewMetrics()
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", m.Handler())
+		go http.Serve(ln, mux) //nolint:errcheck — dies with the process
+		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	ds := nn.Blobs(2048, 16, 4, *seed)
@@ -52,6 +74,7 @@ func main() {
 		Seed:                 *seed,
 		Shards:               *shards,
 		ShardPlacement:       shard.Placement(*placement),
+		Metrics:              m,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -70,4 +93,12 @@ func main() {
 	fmt.Printf("  tensor-0 round trip %.1f ms average, wall time %s\n",
 		1e3*rtt, res.Duration.Round(1e6))
 	fmt.Printf("  push order (last iteration): %v\n", res.PushOrder)
+
+	if m != nil {
+		fmt.Println("  metrics:")
+		if err := m.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,49 +1,137 @@
-// Command prophet-trace runs one simulated training job and exports its
-// timelines: a Chrome trace-event JSON of GPU/link activity, a CSV of GPU
-// utilization and network throughput, and a CSV of per-gradient transfers.
+// Command prophet-trace runs one training job — simulated or live-emulated —
+// and exports its timelines: a Chrome trace-event JSON, a CSV of GPU
+// utilization and network throughput, a CSV of per-gradient transfers, and a
+// stall-attribution report decomposing each gradient's completion time into
+// generation / priority-wait / bandwidth-wait / transmit / ack (Fig. 11).
 //
 // Usage:
 //
-//	prophet-trace -model resnet50 -scheduler prophet -out trace.json
-//	prophet-trace -scheduler bytescheduler -csv timeline.csv -transfers log.csv
+//	prophet-trace -model resnet50 -policy prophet -out trace.json
+//	prophet-trace -policy bytescheduler -csv timeline.csv -transfers log.csv
+//	prophet-trace -path emu -policy prophet -out live.json -attrib report.txt
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prophet/internal/cluster"
+	"prophet/internal/emu"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
+	"prophet/internal/nn"
+	"prophet/internal/probe"
+	"prophet/internal/probe/attrib"
 	"prophet/internal/profiler"
 	"prophet/internal/stepwise"
+	"prophet/internal/strategy"
 	"prophet/internal/trace"
 )
 
 func main() {
+	policyUsage := "scheduling strategy: " + strings.Join(strategy.Names(), "|")
 	var (
-		modelName = flag.String("model", "resnet50", "model")
+		path      = flag.String("path", "sim", "execution path: sim (discrete-event simulator) | emu (live emulation)")
+		modelName = flag.String("model", "resnet50", "model (sim path)")
 		batch     = flag.Int("batch", 64, "batch size")
 		workers   = flag.Int("workers", 3, "workers")
 		bandwidth = flag.Float64("bandwidth", 3000, "per-worker Mbps")
-		sched     = flag.String("scheduler", "prophet", "fifo|p3|bytescheduler|prophet")
+		policy    = flag.String("policy", "", policyUsage)
+		sched     = flag.String("scheduler", "prophet", "deprecated alias for -policy")
 		iters     = flag.Int("iters", 6, "iterations")
 		seed      = flag.Uint64("seed", 1, "seed")
+		hidden    = flag.Int("hidden", 64, "hidden layer width (emu path)")
+		topK      = flag.Int("topk", 3, "blocking gradients listed per iteration in the attribution report")
 		outJSON   = flag.String("out", "", "Chrome trace JSON output path")
 		outCSV    = flag.String("csv", "", "timeline CSV output path (GPU util + throughput)")
 		outXfer   = flag.String("transfers", "", "per-gradient transfer CSV output path")
+		outAttrib = flag.String("attrib", "", "stall-attribution report output path")
 	)
 	flag.Parse()
-	if *outJSON == "" && *outCSV == "" && *outXfer == "" {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -out, -csv, or -transfers")
+	if *outJSON == "" && *outCSV == "" && *outXfer == "" && *outAttrib == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -out, -csv, -transfers, or -attrib")
 		os.Exit(1)
 	}
 
-	base, err := model.ByName(*modelName)
+	// -policy is the canonical spelling; -scheduler survives as an alias.
+	name := *sched
+	if *policy != "" {
+		name = *policy
+	}
+	canonical, deprecated, err := strategy.Resolve(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if deprecated {
+		fmt.Fprintf(os.Stderr, "warning: policy name %q is deprecated; use %q\n", name, canonical)
+	}
+
+	switch *path {
+	case "sim":
+		runSim(simConfig{
+			model: *modelName, batch: *batch, workers: *workers,
+			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
+		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
+	case "emu":
+		runEmu(emuConfig{
+			batch: *batch, workers: *workers, hidden: *hidden,
+			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
+		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -path %q: want sim or emu\n", *path)
+		os.Exit(1)
+	}
+}
+
+type simConfig struct {
+	model          string
+	batch, workers int
+	bandwidth      float64
+	policy         string
+	iters          int
+	seed           uint64
+}
+
+type emuConfig struct {
+	batch, workers, hidden int
+	bandwidth              float64
+	policy                 string
+	iters                  int
+	seed                   uint64
+}
+
+type outputs struct {
+	json, csv, xfer, attrib string
+	topK                    int
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// runSim drives the discrete-event simulator. The Chrome trace and CSV come
+// from the simulator's own link recordings; the attribution report comes
+// from the probe recorder, the same component the live path uses.
+func runSim(cfg simConfig, out outputs) {
+	base, err := model.ByName(cfg.model)
+	if err != nil {
+		fatal(err)
 	}
 	wire := model.WithWireFactor(base, 2)
 	aggBytes := wire.TotalBytes() / 13
@@ -52,66 +140,46 @@ func main() {
 	}
 	agg := stepwise.Aggregate(wire, aggBytes, 0)
 
-	var factory cluster.SchedulerFactory
-	switch *sched {
-	case "fifo":
-		factory = cluster.FIFOFactory(wire)
-	case "p3":
-		factory = cluster.P3Factory(wire, 4e6)
-	case "bytescheduler":
-		factory = cluster.ByteSchedulerFactory(wire, 4e6)
-	case "prophet":
-		prof, err := profiler.Run(profiler.Config{Model: wire, Batch: *batch, Agg: agg, Seed: *seed * 97})
+	opt := cluster.Options{Partition: 4e6, Credit: 4e6, Seed: cfg.seed}
+	if cfg.policy == "prophet" {
+		prof, err := profiler.Run(profiler.Config{Model: wire, Batch: cfg.batch, Agg: agg, Seed: cfg.seed * 97})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		factory = cluster.ProphetFactory(prof.Profile())
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
-		os.Exit(1)
+		opt.Profile = prof.Profile()
+	}
+	factory, err := cluster.ByName(cfg.policy, wire, opt)
+	if err != nil {
+		fatal(err)
 	}
 
+	rec := probe.NewSpanRecorder()
 	res, err := cluster.Run(cluster.Config{
 		Model:   wire,
-		Batch:   *batch,
-		Workers: *workers,
+		Batch:   cfg.batch,
+		Workers: cfg.workers,
 		Agg:     agg,
 		Uplink: func(int) netsim.LinkConfig {
-			return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
+			return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(cfg.bandwidth))))
 		},
 		Scheduler:    factory,
-		Iterations:   *iters,
-		Seed:         *seed,
+		Iterations:   cfg.iters,
+		Seed:         cfg.seed,
 		RecordLinks:  true,
 		LogTransfers: true,
+		Observer:     rec,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	writeFile := func(path string, fn func(*os.File) error) {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := fn(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", path)
-	}
-
-	if *outJSON != "" {
-		writeFile(*outJSON, func(f *os.File) error {
+	if out.json != "" {
+		writeFile(out.json, func(f *os.File) error {
 			return trace.WriteChromeTrace(f, trace.ChromeTrace(res))
 		})
 	}
-	if *outCSV != "" {
-		writeFile(*outCSV, func(f *os.File) error {
+	if out.csv != "" {
+		writeFile(out.csv, func(f *os.File) error {
 			const bin = 0.05
 			gpu := res.GPU[0].Timeline(0, res.Duration, bin)
 			up := res.Up[0].Timeline(0, res.Duration, bin)
@@ -120,9 +188,71 @@ func main() {
 				[]string{"time_s", "gpu_util", "uplink_Bps", "downlink_Bps"}, gpu, up, down)
 		})
 	}
-	if *outXfer != "" {
-		writeFile(*outXfer, func(f *os.File) error {
+	if out.xfer != "" {
+		writeFile(out.xfer, func(f *os.File) error {
 			return trace.WriteTransferCSV(f, res.Transfers)
 		})
 	}
+	writeAttrib(rec, out)
+}
+
+// runEmu drives the live emulation. Every export comes from the probe
+// recorder: the same event stream both executors emit.
+func runEmu(cfg emuConfig, out outputs) {
+	rec := probe.NewSpanRecorder()
+	// -bandwidth stays in Mbps for CLI symmetry with the sim path; the
+	// emulation's shaper wants bytes/sec.
+	res, err := emu.Run(emu.Config{
+		Workers:              cfg.workers,
+		Layers:               []int{16, cfg.hidden, cfg.hidden, 4},
+		Dataset:              nn.Blobs(2048, 16, 4, cfg.seed),
+		Batch:                cfg.batch,
+		Iterations:           cfg.iters,
+		LR:                   0.1,
+		Policy:               cfg.policy,
+		BandwidthBytesPerSec: cfg.bandwidth * 1e6 / 8,
+		Seed:                 cfg.seed,
+		Observer:             rec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	_ = res
+
+	if out.json != "" {
+		writeFile(out.json, func(f *os.File) error {
+			return trace.WriteChromeTrace(f, trace.ChromeTraceSpans(rec))
+		})
+	}
+	if out.csv != "" {
+		writeFile(out.csv, func(f *os.File) error {
+			const bin = 0.005
+			end := 0.0
+			if log := rec.Iterations(0); log != nil && log.Count() > 0 {
+				end = log.Ends[log.Count()-1]
+			}
+			rate := rec.Rate(0)
+			if rate == nil {
+				return fmt.Errorf("no transfers recorded for worker 0")
+			}
+			return trace.WriteCSV(f, bin,
+				[]string{"time_s", "uplink_Bps"}, rate.Timeline(0, end, bin))
+		})
+	}
+	if out.xfer != "" {
+		writeFile(out.xfer, func(f *os.File) error {
+			return trace.WriteTransferCSV(f, rec.Transfers())
+		})
+	}
+	writeAttrib(rec, out)
+}
+
+func writeAttrib(rec *probe.SpanRecorder, out outputs) {
+	if out.attrib == "" {
+		return
+	}
+	writeFile(out.attrib, func(f *os.File) error {
+		attrib.Analyze(rec, out.topK).Render(f)
+		return nil
+	})
 }

@@ -28,6 +28,7 @@ import (
 	"prophet/internal/metrics"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
+	"prophet/internal/probe"
 	"prophet/internal/schedule"
 	"prophet/internal/shard"
 	"prophet/internal/sim"
@@ -105,6 +106,11 @@ type Config struct {
 	// FaultPolicy selects how the cluster degrades when a fault fires
 	// (default FaultFailFast).
 	FaultPolicy FaultPolicy
+	// Observer, when non-nil, receives the probe event stream from every
+	// worker (times are simulated seconds). Observation is passive — a run
+	// with an Observer attached produces bit-identical schedules to one
+	// without.
+	Observer probe.Observer
 }
 
 // WorkerFault is one crash-stop failure: Worker halts at the start of

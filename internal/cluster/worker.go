@@ -6,6 +6,7 @@ import (
 	"prophet/internal/drive"
 	"prophet/internal/metrics"
 	"prophet/internal/netsim"
+	"prophet/internal/probe"
 	"prophet/internal/schedule"
 	"prophet/internal/shard"
 	"prophet/internal/sim"
@@ -63,6 +64,9 @@ type worker struct {
 	sched    schedule.Scheduler
 	drv      *drive.Driver
 	up, down []*netsim.Link
+	// obs mirrors Config.Observer; nil in every unobserved run, so each
+	// emission costs one predictable branch (the probe cost contract).
+	obs probe.Observer
 
 	gpu        metrics.IntervalSeries
 	upRate     *metrics.RateSeries
@@ -197,6 +201,10 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shar
 	if cfg.RecordMessages && id == 0 {
 		w.drv.SetRecording(true)
 	}
+	if cfg.Observer != nil {
+		w.obs = cfg.Observer
+		w.drv.SetObserver(id, cfg.Observer)
+	}
 	return w
 }
 
@@ -243,10 +251,16 @@ func (w *worker) startIteration() {
 		// reported after the run drains.
 		w.halted = true
 		w.phase = phaseDone
+		if w.obs != nil {
+			w.obs.FaultInjected(w.id, "crash-stop", w.eng.Now())
+		}
 		if w.cfg.FaultPolicy == FaultDrop {
 			w.eng.Schedule(f.DetectDelay, func() { w.ps.dropWorker(w.id) })
 		}
 		return
+	}
+	if w.obs != nil {
+		w.obs.BeginIteration(w.id, w.iter, w.eng.Now())
 	}
 	w.phase = phaseForward
 	w.fwdSeg = 0
@@ -347,6 +361,9 @@ func (w *worker) finishIteration() {
 	now := w.eng.Now()
 	w.iterLog.Add(w.iterStart, now)
 	w.drv.EndIteration(now - w.iterStart)
+	if w.obs != nil {
+		w.obs.EndIteration(w.id, w.iter, now)
+	}
 	w.iterStart = now
 	w.iter++
 	w.startIteration()
@@ -530,13 +547,17 @@ func (w *worker) onDownDone(s int) {
 	pm := w.downInflight[s]
 	w.downInflight[s] = nil
 	sizes := w.ps.sizes
+	now := w.eng.Now()
 	for _, pc := range pm.pieces {
 		w.pulledBytes[pc.grad] += pc.bytes
 		// Pull chunking splits at fractional byte boundaries, so the
 		// float sum can land a hair under the exact size; within half
 		// a byte the tensor is complete.
-		if w.pulledBytes[pc.grad] >= sizes[pc.grad]-0.5 {
+		if w.pulledBytes[pc.grad] >= sizes[pc.grad]-0.5 && !w.pulled[pc.grad] {
 			w.pulled[pc.grad] = true
+			if w.obs != nil {
+				w.obs.PullAcked(w.id, pc.grad, pm.iter, now)
+			}
 		}
 	}
 	iter := pm.iter

@@ -26,17 +26,16 @@
 // steady state (the cluster's hot loop depends on this).
 package drive
 
-import "prophet/internal/schedule"
+import (
+	"prophet/internal/probe"
+	"prophet/internal/schedule"
+)
 
 // Range is one gradient byte range [Off, Off+Bytes) carried by a send.
 // Offsets are cumulative across the iteration's sends, assigned in
-// scheduler emission order.
-type Range struct {
-	Grad       int
-	Off, Bytes float64
-	// Last marks the range that completes the gradient's push.
-	Last bool
-}
+// scheduler emission order. It is an alias of probe.Range so the driver
+// hands its per-send ranges to an Observer without conversion or copy.
+type Range = probe.Range
 
 // Send is one per-lane sub-message ready for transmission. It is valid only
 // for the duration of Transmitter.Start — the Ranges backing array is
@@ -107,9 +106,13 @@ type Driver struct {
 	// this iteration.
 	offsets []float64
 	// queues[s] holds lane s's not-yet-started sub-messages, in scheduler
-	// emission order. All queues empty ⟺ every fetched message's bytes are
-	// scheduled, which is the fetch gate for the next message.
+	// emission order; heads[s] indexes the next one to dispatch. Popping by
+	// head (instead of re-slicing) keeps the backing array's capacity, so a
+	// drained queue is reset and reused without reallocating. All queues
+	// empty ⟺ every fetched message's bytes are scheduled, which is the
+	// fetch gate for the next message.
 	queues   [][]Send
+	heads    []int
 	inflight []*group
 
 	// Free lists: containers keep their grown capacity across reuse, so
@@ -126,6 +129,12 @@ type Driver struct {
 
 	recording bool
 	records   []Record
+
+	// obs, when non-nil, receives the drive-layer probe events. Every
+	// emission site is guarded by exactly one nil check and constructs
+	// nothing before it — see the probe package's cost contract.
+	obs    probe.Observer
+	worker int
 }
 
 // New builds a Driver for one worker: sched decides the order, tx moves the
@@ -138,6 +147,7 @@ func New(sched schedule.Scheduler, tx Transmitter, lanes, nGrads int, shardOf fu
 		shardOf:  shardOf,
 		offsets:  make([]float64, nGrads),
 		queues:   make([][]Send, lanes),
+		heads:    make([]int, lanes),
 		inflight: make([]*group, lanes),
 	}
 }
@@ -147,6 +157,14 @@ func (d *Driver) Scheduler() schedule.Scheduler { return d.sched }
 
 // SetRecording enables the per-decision Record log.
 func (d *Driver) SetRecording(on bool) { d.recording = on }
+
+// SetObserver attaches a probe Observer to the driver's emission sites,
+// tagging every event with the given worker id. Passing nil detaches it.
+// Observation is passive: it never changes what the driver dispatches.
+func (d *Driver) SetObserver(worker int, obs probe.Observer) {
+	d.worker = worker
+	d.obs = obs
+}
 
 // Records returns the decision log accumulated so far (fetch order).
 func (d *Driver) Records() []Record { return d.records }
@@ -168,6 +186,9 @@ func (d *Driver) BeginIteration(iter int) {
 // (a burst of releases needs only one Pump).
 func (d *Driver) Generate(g int, now float64) {
 	d.sched.OnGenerated(g, now)
+	if d.obs != nil {
+		d.obs.Generated(d.worker, g, now)
+	}
 }
 
 // EndIteration reports the completed iteration's duration to the scheduler
@@ -199,18 +220,25 @@ func (d *Driver) Pump(now float64) {
 			// A transport that completes sends synchronously (the
 			// emulation's decision replay) frees the lane inside Start, so
 			// keep draining the lane's queue while it stays free.
-			for !d.tx.Busy(s) && len(d.queues[s]) > 0 {
+			for !d.tx.Busy(s) && len(d.queues[s]) > d.heads[s] {
 				d.dispatch(s, now)
 			}
 		}
-		if !d.queuesEmpty() || !d.anyLaneFree() {
+		queued, laneFree := !d.queuesEmpty(), d.anyLaneFree()
+		if queued || !laneFree {
+			if d.obs != nil && queued && laneFree {
+				// A lane is idle but the gate holds the next fetch: a
+				// previously fetched message still has unscheduled bytes
+				// on a busy lane.
+				d.obs.FetchGated(d.worker, now)
+			}
 			return
 		}
 		msg, ok := d.sched.Next(now)
 		if !ok {
 			return
 		}
-		d.enqueue(msg)
+		d.enqueue(msg, now)
 	}
 }
 
@@ -231,6 +259,9 @@ func (d *Driver) Completed(lane int, now float64) (iter int, msgDone bool) {
 	if msgDone {
 		d.recycleGroup(g)
 	}
+	if d.obs != nil {
+		d.obs.SendComplete(d.worker, lane, iter, msgDone, now)
+	}
 	return iter, msgDone
 }
 
@@ -239,7 +270,7 @@ func (d *Driver) Completed(lane int, now float64) (iter int, msgDone bool) {
 // emission order, so a gradient's ranges land in order regardless of when
 // each lane frees (a key lives on exactly one lane, and per-lane queues are
 // FIFO).
-func (d *Driver) enqueue(msg schedule.Message) {
+func (d *Driver) enqueue(msg schedule.Message, now float64) {
 	g := d.newGroup()
 	g.msg, g.iter, g.seq = msg, d.iter, d.seq
 	d.seq++
@@ -280,19 +311,34 @@ func (d *Driver) enqueue(msg schedule.Message) {
 			Lane: s, Seq: g.seq, Iter: g.iter, Prio: prio,
 			Msg: sub, Ranges: ranges, group: g,
 		})
+		if d.obs != nil {
+			d.obs.ShardEnqueued(d.worker, s, g.seq, prio, sub.Bytes, len(d.queues[s])-d.heads[s], now)
+		}
 	}
 }
 
 // dispatch starts lane s's next queued sub-message on the transmitter.
 func (d *Driver) dispatch(s int, now float64) {
-	item := d.queues[s][0]
-	d.queues[s] = d.queues[s][1:]
+	item := d.queues[s][d.heads[s]]
+	d.heads[s]++
+	if d.heads[s] == len(d.queues[s]) {
+		// Drained: rewind onto the same backing array.
+		d.queues[s] = d.queues[s][:0]
+		d.heads[s] = 0
+	}
 	g := item.group
 	if g.started == 0 {
 		g.firstStart = now
 	}
 	g.started++
 	d.inflight[s] = g
+	if d.obs != nil {
+		// Emit before Start: a transport that completes synchronously
+		// (the emulation's decision replay) reports SendComplete from
+		// inside Start, and per-lane start/complete must stay ordered.
+		d.obs.SendStart(d.worker, item.Lane, item.Seq, item.Iter, item.Prio,
+			item.Msg.Label, item.Msg.Bytes, item.Ranges, now)
+	}
 	d.scratch = item
 	d.tx.Start(&d.scratch)
 	// The ranges are consumed by Start (transports copy what they keep);
@@ -301,8 +347,8 @@ func (d *Driver) dispatch(s int, now float64) {
 }
 
 func (d *Driver) queuesEmpty() bool {
-	for _, q := range d.queues {
-		if len(q) > 0 {
+	for s, q := range d.queues {
+		if len(q) > d.heads[s] {
 			return false
 		}
 	}

@@ -37,12 +37,14 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prophet/internal/core"
 	"prophet/internal/drive"
 	"prophet/internal/fault"
 	"prophet/internal/nn"
+	"prophet/internal/probe"
 	"prophet/internal/ps"
 	"prophet/internal/schedule"
 	"prophet/internal/shard"
@@ -129,6 +131,18 @@ type Config struct {
 	// Deadline bounds the whole run; past it the emulation aborts with a
 	// descriptive error (0 = none).
 	Deadline time.Duration
+
+	// Observer, when non-nil, receives the live probe event stream (times
+	// are wall-clock seconds since run start). It must be safe for
+	// concurrent use: per-shard writer goroutines emit send events
+	// concurrently with the worker loops' iteration and pull events.
+	// Observation is passive — it never changes what the schedulers decide.
+	Observer probe.Observer
+	// Metrics, when non-nil, collects live counters and histograms:
+	// transport traffic, parameter-server frames and failures, pull
+	// timeouts, fault injections, per-shard queue depth. The registry is
+	// also fed the probe event stream (see Metrics.Observer).
+	Metrics *probe.Metrics
 }
 
 // faultTolerant reports whether any fault-handling configuration is set.
@@ -222,6 +236,13 @@ func Run(cfg Config) (*Result, error) {
 		pullTimeout = 10 * time.Second
 	}
 
+	// All probe events share one clock: wall seconds since run start. The
+	// registry's own observer is folded into the caller's, so counters
+	// accumulate even when no recorder is attached.
+	runStart := time.Now()
+	clock := func() float64 { return time.Since(runStart).Seconds() }
+	cfg.Observer = probe.NewMulti(cfg.Observer, cfg.Metrics.Observer())
+
 	// The key→shard map is derived from the tensor sizes alone, so every
 	// worker and every shard server computes the identical assignment.
 	smap, err := shard.New(tensorSizes(cfg.Layers, cfg.Seed), cfg.Shards, cfg.ShardPlacement)
@@ -242,17 +263,26 @@ func Run(cfg Config) (*Result, error) {
 	var rawConns []net.Conn
 	for s := 0; s < shards; s++ {
 		servers[s] = ps.NewServer(cfg.Workers)
+		servers[s].SetMetrics(cfg.Metrics)
 		serverConns[s] = make([]net.Conn, cfg.Workers)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		perWorker[w] = make([]*ps.Client, shards)
 		for s := 0; s < shards; s++ {
 			a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
+			// Meter inside the fault wrap, so only bytes that actually
+			// reach the wire are counted.
+			a = transport.Meter(a, cfg.Metrics, "transport_worker")
 			if spec, ok := cfg.Faults[w]; ok {
-				a = spec.Wrap(a)
+				var onFault func(string)
+				if obs := cfg.Observer; obs != nil {
+					w := w
+					onFault = func(kind string) { obs.FaultInjected(w, kind, clock()) }
+				}
+				a = spec.WrapObserved(a, onFault)
 			}
 			rawConns = append(rawConns, a)
-			perWorker[w][s] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout})
+			perWorker[w][s] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout, Metrics: cfg.Metrics})
 			serverConns[s][w] = b
 		}
 		clients[w] = ps.NewShardedClient(perWorker[w], smap.Of)
@@ -334,7 +364,7 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = runWorker(w, cfg, pullTimeout, clients[w], res)
+			workerErrs[w] = runWorker(w, cfg, pullTimeout, clients[w], res, clock)
 		}(w)
 	}
 	wg.Wait()
@@ -419,13 +449,27 @@ func pullOutcome(r ps.PullResult, ok bool) ([]float64, error) {
 }
 
 // runWorker executes the synchronous SGD loop for one worker.
-func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedClient, res *Result) error {
+func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedClient, res *Result, clock func() float64) error {
 	m := nn.NewMLP(cfg.Layers, cfg.Seed)
 	nTensors := m.NumTensors()
 	shardStride := cfg.Workers * cfg.Batch
 	sizes := make([]float64, nTensors)
 	for idx, t := range m.Tensors() {
 		sizes[idx] = float64(8 * t.Elems)
+	}
+
+	// The observer is never attached to the replay driver: decision replay
+	// runs on replay-relative times with a wireless Transmitter, so its
+	// send events would be meaningless. The live events are emitted here —
+	// at the real backward pass, the real wire pushes (pushSends), and the
+	// real pull arrivals — on the run's wall clock.
+	obs := cfg.Observer
+	var labels []string
+	if obs != nil {
+		labels = make([]string, nTensors)
+		for idx := range labels {
+			labels[idx] = fmt.Sprintf("push[t%d]", idx)
+		}
 	}
 
 	params := strategy.Params{
@@ -463,15 +507,21 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		iterStart := time.Now()
+		if obs != nil {
+			obs.BeginIteration(w, iter, clock())
+		}
 		lo := (iter*shardStride + w*cfg.Batch) % (cfg.Dataset.X.Rows - cfg.Batch + 1)
-		x, labels := cfg.Dataset.Batch(lo, lo+cfg.Batch)
+		x, batchLabels := cfg.Dataset.Batch(lo, lo+cfg.Batch)
 
 		logits := m.Forward(x)
 		// Collect tensors in emission order with generation timestamps.
 		var events []genEvent
 		bwdStart := time.Now()
-		m.Backward(logits, labels, func(idx int) {
+		m.Backward(logits, batchLabels, func(idx int) {
 			events = append(events, genEvent{idx, time.Since(bwdStart)})
+			if obs != nil {
+				obs.Generated(w, idx, clock())
+			}
 		})
 
 		d := drv
@@ -494,7 +544,8 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 		// a tensor completed early (priority strategies put tensor 0
 		// first) finishes its round trip early.
 		chans := make([]<-chan ps.PullResult, nTensors)
-		if err := pushSends(client, iter, m, sends, chans); err != nil {
+		pp := pushParams{worker: w, sizes: sizes, labels: labels, obs: obs, clock: clock}
+		if err := pushSends(client, iter, m, sends, chans, pp); err != nil {
 			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
 		}
 		// Collect in priority order: tensor 0's arrival is what would
@@ -502,16 +553,25 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 		for idx := 0; idx < nTensors; idx++ {
 			agg, err := awaitPull(chans[idx], pullTimeout)
 			if err != nil {
+				if errors.Is(err, ps.ErrPullTimeout) {
+					cfg.Metrics.Counter("emu_pull_timeouts").Inc()
+				}
 				return fmt.Errorf("emu: worker %d pull iter %d tensor %d (policy %s): %w",
 					w, iter, idx, cfg.Failure, err)
 			}
 			m.SetGrad(idx, agg)
+			if obs != nil {
+				obs.PullAcked(w, idx, iter, clock())
+			}
 			if idx == 0 && w == 0 {
 				res.Tensor0RoundTrip = append(res.Tensor0RoundTrip, time.Since(bwdStart))
 			}
 		}
 		m.Step(cfg.LR)
 		d.EndIteration(time.Since(iterStart).Seconds())
+		if obs != nil {
+			obs.EndIteration(w, iter, clock())
+		}
 
 		if w == 0 {
 			res.Losses = append(res.Losses, m.Loss(cfg.Dataset.X, cfg.Dataset.Labels))
@@ -639,23 +699,38 @@ func pushOrderOf(sends []wireSend, nTensors int) []int {
 // shard links (the driver queues a message's per-shard sub-sends
 // back-to-back). With a single shard this degenerates to the strict
 // sequential push-then-pull-request loop of the unsharded emulation.
-func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult) error {
+func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult, pp pushParams) error {
 	shards := client.Shards()
-	jobs := make([]chan int, shards)
+	jobs := make([]chan pushJob, shards)
 	errs := make([]error, shards)
+	// depths[s] counts tensors handed to shard s's writer and not yet
+	// picked up — the live analogue of the driver's lane queue depth.
+	depths := make([]atomic.Int64, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
-		jobs[s] = make(chan int)
+		jobs[s] = make(chan pushJob)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			for idx := range jobs[s] {
+			for job := range jobs[s] {
+				depths[s].Add(-1)
+				idx := job.idx
 				if errs[s] != nil {
 					continue // keep draining so the coordinator never blocks
+				}
+				if pp.obs != nil {
+					// One span per tensor push: each tensor ships whole on
+					// its shard connection, so the span covers the wire
+					// transfer of one gradient.
+					one := [1]probe.Range{{Grad: idx, Bytes: pp.sizes[idx], Last: true}}
+					pp.obs.SendStart(pp.worker, s, job.seq, iter, idx, pp.labels[idx], pp.sizes[idx], one[:], pp.clock())
 				}
 				if err := client.Shard(s).Push(iter, idx, m.GradData(idx)); err != nil {
 					errs[s] = fmt.Errorf("push tensor %d (shard %d): %w", idx, s, err)
 					continue
+				}
+				if pp.obs != nil {
+					pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
 				}
 				ch, err := client.Shard(s).PullAsync(iter, idx)
 				if err != nil {
@@ -666,9 +741,13 @@ func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, 
 			}
 		}(s)
 	}
-	for _, snd := range sends {
+	for seq, snd := range sends {
 		for _, idx := range snd.tensors {
-			jobs[snd.lane] <- idx
+			d := depths[snd.lane].Add(1)
+			if pp.obs != nil {
+				pp.obs.ShardEnqueued(pp.worker, snd.lane, seq, idx, pp.sizes[idx], int(d), pp.clock())
+			}
+			jobs[snd.lane] <- pushJob{idx: idx, seq: seq}
 		}
 	}
 	for s := 0; s < shards; s++ {
@@ -676,6 +755,23 @@ func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, 
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// pushJob is one tensor handed to a shard writer: its index and the
+// scheduler message sequence it belongs to.
+type pushJob struct {
+	idx, seq int
+}
+
+// pushParams carries the probe context of one worker's pushSends call.
+// obs is nil in unobserved runs, and the other fields are only read when
+// it is not.
+type pushParams struct {
+	worker int
+	sizes  []float64
+	labels []string
+	obs    probe.Observer
+	clock  func() float64
 }
 
 // tensorSizes returns the model's per-tensor byte sizes (float64 elements),

@@ -1,0 +1,120 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/nn"
+	"prophet/internal/probe"
+	"prophet/internal/probe/attrib"
+)
+
+// TestObserverRecordsLiveRun attaches a SpanRecorder and a metrics registry
+// to a real emulation (goroutines, sockets, wall clock) and checks the
+// recorded event stream is complete: every tensor push of every iteration
+// shows up as one wire span with a full generated→sent→acked lifecycle,
+// and the live counters agree with the topology.
+func TestObserverRecordsLiveRun(t *testing.T) {
+	rec := probe.NewSpanRecorder()
+	m := probe.NewMetrics()
+	cfg := baseConfig()
+	cfg.Observer = rec
+	cfg.Metrics = m
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != cfg.Iterations {
+		t.Fatalf("run incomplete: %d losses", len(res.Losses))
+	}
+	nTensors := nn.NewMLP(cfg.Layers, cfg.Seed).NumTensors()
+	wantSpans := cfg.Iterations * nTensors // per worker: one push per tensor
+
+	for w := 0; w < cfg.Workers; w++ {
+		if got := rec.Iterations(w).Count(); got != cfg.Iterations {
+			t.Errorf("worker %d: %d recorded iterations, want %d", w, got, cfg.Iterations)
+		}
+	}
+	spans := rec.Spans()
+	if len(spans) != cfg.Workers*wantSpans {
+		t.Errorf("recorded %d spans, want %d", len(spans), cfg.Workers*wantSpans)
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Errorf("span %+v ends before it starts", s)
+		}
+	}
+	complete := 0
+	for _, g := range rec.Grads() {
+		if g.HasStart && g.HasEnd && g.HasAcked {
+			complete++
+			if !(g.Generated <= g.Start && g.Start <= g.End && g.End <= g.Acked) {
+				t.Errorf("lifecycle out of order: %+v", g)
+			}
+		}
+	}
+	if complete != cfg.Workers*wantSpans {
+		t.Errorf("%d complete lifecycles, want %d", complete, cfg.Workers*wantSpans)
+	}
+
+	// Live counters: every push lands on a PS shard exactly once, and the
+	// metered transport saw real bytes move.
+	wantPushes := int64(cfg.Workers * cfg.Iterations * nTensors)
+	if got := m.Counter("ps_server_pushes").Value(); got != wantPushes {
+		t.Errorf("ps_server_pushes = %d, want %d", got, wantPushes)
+	}
+	if got := m.Counter("probe_sends").Value(); got != wantPushes {
+		t.Errorf("probe_sends = %d, want %d", got, wantPushes)
+	}
+	if got := m.Counter("transport_worker_tx_bytes").Value(); got <= 0 {
+		t.Errorf("transport_worker_tx_bytes = %d, want > 0", got)
+	}
+	if got := m.Counter("probe_iterations").Value(); got != int64(cfg.Workers*cfg.Iterations) {
+		t.Errorf("probe_iterations = %d, want %d", got, cfg.Workers*cfg.Iterations)
+	}
+}
+
+// TestAttributionSumsOnEmu checks the analyzer's additivity invariant holds
+// on wall-clock timestamps from the live path too.
+func TestAttributionSumsOnEmu(t *testing.T) {
+	rec := probe.NewSpanRecorder()
+	cfg := baseConfig()
+	cfg.Policy = "prophet"
+	cfg.Observer = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := attrib.Analyze(rec, 3)
+	if len(rep.PerGrad) == 0 {
+		t.Fatal("attribution produced no gradients")
+	}
+	for _, c := range rep.PerGrad {
+		if diff := math.Abs(c.Sum() - c.Completion); diff > 1e-9 {
+			t.Errorf("worker %d iter %d grad %d: components sum off by %g", c.Worker, c.Iter, c.Grad, diff)
+		}
+	}
+}
+
+// TestObserverPassiveInEmu asserts observation does not change the training
+// math: the parameter trajectory is bit-identical with and without it.
+func TestObserverPassiveInEmu(t *testing.T) {
+	run := func(obs probe.Observer) []float64 {
+		cfg := baseConfig()
+		cfg.Observer = obs
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalParams
+	}
+	bare := run(nil)
+	observed := run(probe.NewSpanRecorder())
+	if len(bare) != len(observed) {
+		t.Fatal("param length mismatch")
+	}
+	for i := range bare {
+		if bare[i] != observed[i] {
+			t.Fatalf("param %d diverged under observation: %v vs %v", i, bare[i], observed[i])
+		}
+	}
+}

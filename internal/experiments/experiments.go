@@ -124,6 +124,7 @@ func All() []Spec {
 		{"ext-fault", "Sec. 7", "Schedulers under injected link faults: straggler drop-and-renormalize vs fail-fast", func(c Config) (Result, error) { return ExtFault(c) }},
 		{"ext-shard", "extension", "Key-sharded multi-PS: FIFO/ByteScheduler/Prophet at 1/2/4 shards, both paths", func(c Config) (Result, error) { return ExtShard(c) }},
 		{"ext-strategies", "extension", "Every registry strategy (incl. TicTac) on one configuration", func(c Config) (Result, error) { return ExtStrategies(c) }},
+		{"ext-attrib", "extension", "Stall attribution: completion-time decomposition per strategy", func(c Config) (Result, error) { return ExtAttrib(c) }},
 	}
 }
 

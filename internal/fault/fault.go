@@ -70,11 +70,18 @@ func (s Spec) String() string {
 
 // Wrap returns c with the spec's faults injected on its write path, or c
 // itself when the spec is inactive.
-func (s Spec) Wrap(c net.Conn) net.Conn {
+func (s Spec) Wrap(c net.Conn) net.Conn { return s.WrapObserved(c, nil) }
+
+// WrapObserved is Wrap with a notification hook: onFault is called once per
+// injector firing with the injector family name ("drop", "stall",
+// "corrupt"). The persistent throttle shapes every write and never "fires",
+// so it reports nothing. The hook runs outside the conn's lock but on the
+// writing goroutine — keep it cheap and non-blocking.
+func (s Spec) WrapObserved(c net.Conn, onFault func(kind string)) net.Conn {
 	if !s.Active() {
 		return c
 	}
-	fc := &conn{Conn: c, spec: s, sleep: time.Sleep}
+	fc := &conn{Conn: c, spec: s, sleep: time.Sleep, onFault: onFault}
 	if s.ThrottleBytesPerSec > 0 {
 		fc.limiter = transport.NewLimiter(s.ThrottleBytesPerSec, 4<<10)
 	}
@@ -154,6 +161,7 @@ type conn struct {
 	spec    Spec
 	limiter *transport.Limiter
 	sleep   func(time.Duration)
+	onFault func(kind string)
 
 	mu      sync.Mutex
 	written int64
@@ -180,6 +188,7 @@ func (c *conn) Write(b []byte) (int, error) {
 		c.stalled = true
 		sleep := c.sleep
 		c.mu.Unlock()
+		c.fire("stall")
 		sleep(s.StallFor)
 		c.mu.Lock()
 		if c.dropped {
@@ -189,11 +198,13 @@ func (c *conn) Write(b []byte) (int, error) {
 	}
 
 	// Corrupt: flip the byte at the configured stream offset.
+	corrupted := false
 	if at := c.spec.CorruptAtByte; at > 0 && start <= at && at < end {
 		cp := make([]byte, len(b))
 		copy(cp, b)
 		cp[at-start] ^= 0xFF
 		b = cp
+		corrupted = true
 	}
 
 	// Drop: deliver bytes below the threshold, then kill the connection.
@@ -204,6 +215,10 @@ func (c *conn) Write(b []byte) (int, error) {
 		}
 		c.dropped = true
 		c.mu.Unlock()
+		if corrupted {
+			c.fire("corrupt")
+		}
+		c.fire("drop")
 		n := 0
 		if keep > 0 {
 			n, _ = c.Conn.Write(b[:keep])
@@ -214,6 +229,9 @@ func (c *conn) Write(b []byte) (int, error) {
 
 	c.written = end
 	c.mu.Unlock()
+	if corrupted {
+		c.fire("corrupt")
+	}
 	n, err := c.Conn.Write(b)
 	if n != len(b) {
 		// Keep the offset ledger honest on short writes.
@@ -222,6 +240,13 @@ func (c *conn) Write(b []byte) (int, error) {
 		c.mu.Unlock()
 	}
 	return n, err
+}
+
+// fire notifies the observer hook of an injector firing.
+func (c *conn) fire(kind string) {
+	if c.onFault != nil {
+		c.onFault(kind)
+	}
 }
 
 // Written returns the number of bytes delivered so far (test hook).

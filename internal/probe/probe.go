@@ -1,0 +1,178 @@
+// Package probe is the unified observability surface of the drive layer
+// and everything beneath it. Both execution paths — the discrete-event
+// cluster simulator and the live emulation — emit the same event taxonomy
+// through one Observer interface, so a single recorder (SpanRecorder), one
+// metrics registry (Metrics), and one analyzer (probe/attrib) serve every
+// strategy on every path. The paper argues entirely with timelines
+// (stepwise generation in Figs. 2–5, utilization in Figs. 9–10, the
+// per-gradient wait/transfer decomposition of Fig. 11); this package is
+// what turns a live run into those timelines.
+//
+// # Event taxonomy
+//
+// Iteration boundaries (BeginIteration/EndIteration) bracket one training
+// step. Within it:
+//
+//   - Generated: the aggregation layer released a gradient to the
+//     scheduler.
+//   - ShardEnqueued: the driver split a fetched scheduler message and
+//     queued one per-lane sub-message.
+//   - SendStart / SendComplete: a sub-message went on / came off the wire
+//     of its lane (a PS shard link). Lanes are serial, so per (worker,
+//     lane) these strictly alternate.
+//   - FetchGated: a lane was free but the cross-shard priority gate held
+//     the next fetch because a previously fetched message still had
+//     unscheduled bytes.
+//   - PullAcked: the aggregated gradient was back on the worker (the event
+//     that unblocks the next forward pass — the paper's T_wait).
+//   - FaultInjected: a configured fault injector fired on the worker's
+//     connection.
+//
+// # Cost contract
+//
+// The hot loops hold a possibly-nil Observer and guard every emission with
+// exactly one nil check; no event construction happens before the check
+// and no event allocates — arguments are scalars, interned strings, and
+// borrowed slices. A nil observer therefore costs one predictable branch
+// per site and zero allocations, which the simulator's allocation budget
+// (BenchmarkCluster_Iteration) depends on.
+//
+// Observers must not retain the Ranges slice passed to SendStart: like
+// drive.Transmitter.Start, it is valid only for the duration of the call
+// (the driver recycles the backing array). Copy what you keep.
+package probe
+
+// Range is one gradient byte range [Off, Off+Bytes) carried by a send.
+// internal/drive aliases this type (drive.Range = probe.Range), so the
+// driver can hand its per-send ranges to an Observer without conversion or
+// allocation.
+type Range struct {
+	Grad       int
+	Off, Bytes float64
+	// Last marks the range that completes the gradient's push.
+	Last bool
+}
+
+// Observer receives drive-layer and transport events from one run. All
+// times are in seconds on the path's clock: simulated time on the cluster
+// path, wall-clock seconds since run start on the live path.
+//
+// Implementations used on the live path must be safe for concurrent use:
+// per-shard writer goroutines emit send events concurrently with the
+// worker loop's iteration and pull events. Emitters guarantee only that
+// events of one (worker, lane) pair arrive in order.
+type Observer interface {
+	// BeginIteration marks the start of iteration iter on a worker.
+	BeginIteration(worker, iter int, now float64)
+	// EndIteration marks the completion of iteration iter.
+	EndIteration(worker, iter int, now float64)
+	// Generated reports gradient grad released to the scheduler.
+	Generated(worker, grad int, now float64)
+	// ShardEnqueued reports one per-lane sub-message queued by the driver:
+	// seq is the parent message's fetch sequence, prio its priority, bytes
+	// the sub-message payload, and depth the lane queue length after the
+	// enqueue (per-shard backlog).
+	ShardEnqueued(worker, lane, seq, prio int, bytes float64, depth int, now float64)
+	// SendStart reports a sub-message going on the wire of its lane.
+	// ranges is borrowed — copy it to keep it.
+	SendStart(worker, lane, seq, iter, prio int, label string, bytes float64, ranges []Range, now float64)
+	// SendComplete reports the lane's in-flight sub-message finishing;
+	// msgDone is true when it was the parent message's last sub-send.
+	SendComplete(worker, lane, iter int, msgDone bool, now float64)
+	// FetchGated reports that a lane was free but the cross-shard priority
+	// gate blocked fetching the next scheduler message.
+	FetchGated(worker int, now float64)
+	// PullAcked reports gradient grad's aggregated value landing back on
+	// the worker for iteration iter.
+	PullAcked(worker, grad, iter int, now float64)
+	// FaultInjected reports a fault injector firing (kind is the injector
+	// family: drop, stall, corrupt, straggler).
+	FaultInjected(worker int, kind string, now float64)
+}
+
+// Multi fans events out to several observers. A nil entry is skipped, so
+// callers can compose optional sinks without branching.
+type Multi []Observer
+
+// NewMulti returns an Observer fanning out to every non-nil argument, or
+// nil when none remain — preserving the nil fast path at the emission
+// sites.
+func NewMulti(obs ...Observer) Observer {
+	var m Multi
+	for _, o := range obs {
+		if o != nil {
+			m = append(m, o)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	default:
+		return m
+	}
+}
+
+// BeginIteration implements Observer.
+func (m Multi) BeginIteration(worker, iter int, now float64) {
+	for _, o := range m {
+		o.BeginIteration(worker, iter, now)
+	}
+}
+
+// EndIteration implements Observer.
+func (m Multi) EndIteration(worker, iter int, now float64) {
+	for _, o := range m {
+		o.EndIteration(worker, iter, now)
+	}
+}
+
+// Generated implements Observer.
+func (m Multi) Generated(worker, grad int, now float64) {
+	for _, o := range m {
+		o.Generated(worker, grad, now)
+	}
+}
+
+// ShardEnqueued implements Observer.
+func (m Multi) ShardEnqueued(worker, lane, seq, prio int, bytes float64, depth int, now float64) {
+	for _, o := range m {
+		o.ShardEnqueued(worker, lane, seq, prio, bytes, depth, now)
+	}
+}
+
+// SendStart implements Observer.
+func (m Multi) SendStart(worker, lane, seq, iter, prio int, label string, bytes float64, ranges []Range, now float64) {
+	for _, o := range m {
+		o.SendStart(worker, lane, seq, iter, prio, label, bytes, ranges, now)
+	}
+}
+
+// SendComplete implements Observer.
+func (m Multi) SendComplete(worker, lane, iter int, msgDone bool, now float64) {
+	for _, o := range m {
+		o.SendComplete(worker, lane, iter, msgDone, now)
+	}
+}
+
+// FetchGated implements Observer.
+func (m Multi) FetchGated(worker int, now float64) {
+	for _, o := range m {
+		o.FetchGated(worker, now)
+	}
+}
+
+// PullAcked implements Observer.
+func (m Multi) PullAcked(worker, grad, iter int, now float64) {
+	for _, o := range m {
+		o.PullAcked(worker, grad, iter, now)
+	}
+}
+
+// FaultInjected implements Observer.
+func (m Multi) FaultInjected(worker int, kind string, now float64) {
+	for _, o := range m {
+		o.FaultInjected(worker, kind, now)
+	}
+}

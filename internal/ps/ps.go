@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"prophet/internal/probe"
 	"prophet/internal/transport"
 )
 
@@ -96,6 +97,9 @@ type Server struct {
 
 	pushes, pulls int
 
+	// probe counter handles; nil unless SetMetrics attached a registry.
+	mPushes, mPulls, mDrops, mFailures, mStragglers *probe.Counter
+
 	workerErrs []error
 	onFailure  func(worker int, err error)
 
@@ -121,6 +125,22 @@ func NewServer(workers int) *Server {
 		writeMu:    make([]sync.Mutex, workers),
 		workerErrs: make([]error, workers),
 	}
+}
+
+// SetMetrics attaches a probe registry: the server counts handled frames,
+// dropped workers, worker failures, and straggler-policy firings under the
+// ps_server_* names. Attach before Serve; a nil registry is a no-op.
+func (s *Server) SetMetrics(m *probe.Metrics) {
+	if m == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mPushes = m.Counter("ps_server_pushes")
+	s.mPulls = m.Counter("ps_server_pulls")
+	s.mDrops = m.Counter("ps_server_dropped_workers")
+	s.mFailures = m.Counter("ps_server_worker_failures")
+	s.mStragglers = m.Counter("ps_server_straggler_fires")
 }
 
 // Stats returns the number of push and pull frames handled so far.
@@ -257,6 +277,9 @@ func (s *Server) workerFailed(w int, err error) {
 	s.mu.Lock()
 	if s.workerErrs[w] == nil {
 		s.workerErrs[w] = err
+		if s.mFailures != nil {
+			s.mFailures.Inc()
+		}
 	}
 	cb := s.onFailure
 	dropped := s.dead[w]
@@ -314,6 +337,9 @@ func (s *Server) handlePush(w int, f *transport.Frame) error {
 		return nil
 	}
 	s.pushes++
+	if s.mPushes != nil {
+		s.mPushes.Inc()
+	}
 	if s.done[k] {
 		s.mu.Unlock()
 		return fmt.Errorf("push for tensor %d of iteration %d, which was already aggregated and served", f.Tensor, f.Iter)
@@ -415,6 +441,9 @@ func (s *Server) handlePull(w int, f *transport.Frame) error {
 		return nil
 	}
 	s.pulls++
+	if s.mPulls != nil {
+		s.mPulls.Inc()
+	}
 	if s.done[k] {
 		s.mu.Unlock()
 		return fmt.Errorf("duplicate or late pull: tensor %d of iteration %d was already served to every worker", f.Tensor, f.Iter)
@@ -458,6 +487,9 @@ func (s *Server) stragglerFire(k slotKey) {
 	if len(missing) == 0 || len(missing) >= s.workers {
 		return
 	}
+	if s.mStragglers != nil {
+		s.mStragglers.Inc()
+	}
 	if cb(int(k.iter), int(k.tensor), missing) {
 		for _, w := range missing {
 			s.DropWorker(w)
@@ -477,6 +509,9 @@ func (s *Server) DropWorker(w int) {
 	}
 	s.dead[w] = true
 	s.live--
+	if s.mDrops != nil {
+		s.mDrops.Inc()
+	}
 	conn := s.conns[w]
 	type flushItem struct {
 		k  slotKey
@@ -595,11 +630,16 @@ type Options struct {
 	// Backoff is the initial retry backoff, doubled per attempt and capped
 	// at one second (default 10ms).
 	Backoff time.Duration
+	// Metrics, when non-nil, counts redials, pull timeouts, and lost
+	// connections under the ps_client_* names.
+	Metrics *probe.Metrics
 }
 
 // Client is a worker's connection to the parameter server.
 type Client struct {
 	opts Options
+	// probe counter handles; nil unless Options.Metrics carried a registry.
+	mRedials, mTimeouts, mConnLost *probe.Counter
 
 	writeMu sync.Mutex // serializes frame writes
 	reconMu sync.Mutex // serializes reconnect attempts
@@ -624,6 +664,11 @@ func NewClientWithOptions(conn net.Conn, opts Options) *Client {
 		pending: make(map[slotKey]chan PullResult),
 		done:    make(chan struct{}),
 	}
+	if m := opts.Metrics; m != nil {
+		c.mRedials = m.Counter("ps_client_redials")
+		c.mTimeouts = m.Counter("ps_client_pull_timeouts")
+		c.mConnLost = m.Counter("ps_client_conn_lost")
+	}
 	go c.readLoop(conn, c.done)
 	return c
 }
@@ -634,6 +679,9 @@ func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 		f, err := transport.ReadFrame(conn)
 		if err != nil {
 			lost := fmt.Errorf("%w: %v", ErrConnLost, err)
+			if c.mConnLost != nil {
+				c.mConnLost.Inc()
+			}
 			c.mu.Lock()
 			c.readErr = lost
 			for _, ch := range c.pending {
@@ -767,6 +815,9 @@ func (c *Client) PullCtx(ctx context.Context, iter, tensor int) ([]float64, erro
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-timeoutC:
+			if c.mTimeouts != nil {
+				c.mTimeouts.Inc()
+			}
 			return fmt.Errorf("ps: pull iter %d tensor %d: %w waiting to reconnect", iter, tensor, ErrPullTimeout)
 		}
 		if backoff *= 2; backoff > time.Second {
@@ -802,6 +853,9 @@ func (c *Client) PullCtx(ctx context.Context, iter, tensor int) ([]float64, erro
 			}
 		case <-timeoutC:
 			c.deregister(k)
+			if c.mTimeouts != nil {
+				c.mTimeouts.Inc()
+			}
 			return nil, fmt.Errorf("ps: pull iter %d tensor %d: %w after %v", iter, tensor, ErrPullTimeout, c.opts.PullTimeout)
 		case <-ctx.Done():
 			c.deregister(k)
@@ -831,6 +885,9 @@ func (c *Client) reconnect(gen int) error {
 	conn, err := c.opts.Redial()
 	if err != nil {
 		return err
+	}
+	if c.mRedials != nil {
+		c.mRedials.Inc()
 	}
 	done := make(chan struct{})
 	c.mu.Lock()

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"prophet/internal/probe"
+)
+
+// ChromeTraceSpans converts a probe SpanRecorder — fed by either executor —
+// into Chrome trace events: one process per worker with an iteration track
+// (tid 0), one track per lane (tid 1+lane) carrying a complete span per
+// wire send, and fault-injection markers on tid 99. Events are ordered
+// deterministically (workers ascending; spans by worker/lane/start/seq;
+// faults by record order), so equal recordings render byte-identical JSON.
+func ChromeTraceSpans(rec *probe.SpanRecorder) []Event {
+	var events []Event
+	for _, w := range rec.Workers() {
+		log := rec.Iterations(w)
+		if log == nil {
+			continue
+		}
+		for i := range log.Starts {
+			events = append(events, Event{
+				Name: "iteration", Ph: "X",
+				Ts: log.Starts[i] * 1e6, Dur: (log.Ends[i] - log.Starts[i]) * 1e6,
+				Pid: w, Tid: 0,
+			})
+		}
+	}
+	for _, s := range rec.Spans() {
+		events = append(events, Event{
+			Name: s.Label, Ph: "X",
+			Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+			Pid: s.Worker, Tid: 1 + s.Lane,
+		})
+	}
+	for _, f := range rec.Faults() {
+		events = append(events, Event{
+			Name: "fault:" + f.Kind, Ph: "X",
+			Ts: f.Time * 1e6, Dur: 0,
+			Pid: f.Worker, Tid: 99,
+		})
+	}
+	return events
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prophet/internal/probe"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// goldenRecorder replays a fixed, scripted event sequence — two workers,
+// two lanes, faults, an interleaved schedule — so the rendered trace is
+// bit-stable across runs and platforms.
+func goldenRecorder() *probe.SpanRecorder {
+	rec := probe.NewSpanRecorder()
+	var obs probe.Observer = rec
+	for w := 0; w < 2; w++ {
+		base := float64(w) * 0.01
+		obs.BeginIteration(w, 0, base)
+		obs.Generated(w, 0, base+0.001)
+		obs.Generated(w, 1, base+0.002)
+		obs.SendStart(w, 0, 0, 0, 0, "g0", 4096, []probe.Range{{Grad: 0, Bytes: 4096, Last: true}}, base+0.003)
+		obs.SendStart(w, 1, 1, 0, 1, "g1", 2048, []probe.Range{{Grad: 1, Bytes: 2048, Last: true}}, base+0.004)
+		obs.SendComplete(w, 1, 0, true, base+0.005)
+		obs.SendComplete(w, 0, 0, true, base+0.006)
+		obs.PullAcked(w, 0, 0, base+0.007)
+		obs.PullAcked(w, 1, 0, base+0.008)
+		obs.EndIteration(w, 0, base+0.009)
+	}
+	obs.FaultInjected(1, "stall", 0.015)
+	return rec
+}
+
+// TestChromeTraceSpansGolden pins the exact trace JSON both executors'
+// span exports produce. Regenerate with: go test ./internal/trace -update
+func TestChromeTraceSpansGolden(t *testing.T) {
+	events := ChromeTraceSpans(goldenRecorder())
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "spans_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden (run with -update if intended):\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceSpansShape checks the structural requirements the trace
+// viewer needs: valid JSON, complete ("X") events only, one span per wire
+// send on the right process/track, zero-duration fault markers.
+func TestChromeTraceSpansShape(t *testing.T) {
+	events := ChromeTraceSpans(goldenRecorder())
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	// 2 workers × (1 iteration + 2 sends) + 1 fault marker.
+	if len(decoded) != 2*3+1 {
+		t.Fatalf("got %d events, want 7", len(decoded))
+	}
+	iters, sends, faults := 0, 0, 0
+	for _, e := range decoded {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		switch {
+		case e.Name == "iteration":
+			iters++
+			if e.Tid != 0 {
+				t.Errorf("iteration on tid %d, want 0", e.Tid)
+			}
+		case e.Name == "fault:stall":
+			faults++
+			if e.Dur != 0 || e.Tid != 99 || e.Pid != 1 {
+				t.Errorf("fault marker = %+v", e)
+			}
+		default:
+			sends++
+			if e.Tid < 1 {
+				t.Errorf("send %q on tid %d, want >= 1", e.Name, e.Tid)
+			}
+			if e.Dur <= 0 {
+				t.Errorf("send %q has non-positive duration %v", e.Name, e.Dur)
+			}
+		}
+	}
+	if iters != 2 || sends != 4 || faults != 1 {
+		t.Errorf("iters=%d sends=%d faults=%d, want 2, 4, 1", iters, sends, faults)
+	}
+}

@@ -1,0 +1,45 @@
+package transport
+
+import (
+	"net"
+
+	"prophet/internal/probe"
+)
+
+// meteredConn counts the bytes and calls that actually reach the
+// underlying connection.
+type meteredConn struct {
+	net.Conn
+	tx, rx, writes, reads *probe.Counter
+}
+
+// Meter wraps c so delivered traffic is counted in the registry under
+// <prefix>_tx_bytes, <prefix>_rx_bytes, <prefix>_writes, and
+// <prefix>_reads. A nil registry returns c unwrapped, so callers can meter
+// unconditionally.
+func Meter(c net.Conn, m *probe.Metrics, prefix string) net.Conn {
+	if m == nil {
+		return c
+	}
+	return &meteredConn{
+		Conn:   c,
+		tx:     m.Counter(prefix + "_tx_bytes"),
+		rx:     m.Counter(prefix + "_rx_bytes"),
+		writes: m.Counter(prefix + "_writes"),
+		reads:  m.Counter(prefix + "_reads"),
+	}
+}
+
+func (c *meteredConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.tx.Add(int64(n))
+	c.writes.Inc()
+	return n, err
+}
+
+func (c *meteredConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.rx.Add(int64(n))
+	c.reads.Inc()
+	return n, err
+}
