@@ -10,7 +10,7 @@ RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive 
 # Native fuzz targets and their packages (go runs one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 build vet test lint race bench bench-json fuzz trace-smoke
+.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json fuzz trace-smoke
 
 check: tier1 lint race trace-smoke
 
@@ -57,6 +57,14 @@ bench:
 bench-json:
 	$(GO) test -bench='Core_Assemble|Cluster_Iteration|SchedulePingPong' -benchmem -count=1 -run '^$$' \
 		. ./internal/sim | $(GO) run ./cmd/bench2json > BENCH_sim.json
+
+# Live-path counterpart: frame I/O micro-benches, PS round trips, and the
+# whole-emulation BenchmarkEmu_Iteration. The committed BENCH_emu.json is
+# the reference the README quotes.
+bench-emu-json:
+	$(GO) test -bench='FrameWrite|FrameWriter|FrameReader|DecodeFloatsInto|PS_PushPull|Emu_Iteration' \
+		-benchmem -count=1 -run '^$$' \
+		./internal/transport ./internal/ps ./internal/emu | $(GO) run ./cmd/bench2json > BENCH_emu.json
 
 # Short fixed-budget fuzzing smoke: each target gets $(FUZZTIME).
 fuzz:

@@ -21,6 +21,7 @@ type Bench struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
@@ -76,15 +77,19 @@ func parse(sc *bufio.Scanner) ([]Bench, error) {
 			return nil, fmt.Errorf("ns/op in %q: %w", line, err)
 		}
 		for i := 4; i+1 < len(f); i += 2 {
-			v, err := strconv.ParseInt(f[i], 10, 64)
+			// MB/s (emitted by benches that SetBytes) is a float; the
+			// benchmem columns are integers.
+			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("metric in %q: %w", line, err)
 			}
 			switch f[i+1] {
+			case "MB/s":
+				b.MBPerSec = v
 			case "B/op":
-				b.BytesPerOp = v
+				b.BytesPerOp = int64(v)
 			case "allocs/op":
-				b.AllocsPerOp = v
+				b.AllocsPerOp = int64(v)
 			}
 		}
 		out = append(out, b)

@@ -469,7 +469,9 @@ func (w *worker) newPullMsg(iter int) *pullMsg {
 		pm = w.pmFree[n-1]
 		w.pmFree = w.pmFree[:n-1]
 	} else {
-		pm = &pullMsg{}
+		// Seed fresh nodes with room for a typical message's pieces, so a
+		// cold pool does not pay the 1→2→4… append-growth chain per node.
+		pm = &pullMsg{pieces: make([]pullPiece, 0, 8)}
 	}
 	pm.seq, pm.iter, pm.prio, pm.bytes, pm.stall = w.pullSeq, iter, 1<<30, 0, 0
 	pm.pieces = pm.pieces[:0]

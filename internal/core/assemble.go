@@ -75,6 +75,21 @@ func (u Unit) Grads() []int {
 	return out
 }
 
+// GradRange returns the smallest and largest gradient index the unit
+// touches, without allocating — the label-rendering form of Grads.
+func (u Unit) GradRange() (lo, hi int) {
+	lo, hi = 1<<30, -1
+	for _, s := range u.Spans {
+		if s.Grad < lo {
+			lo = s.Grad
+		}
+		if s.Grad > hi {
+			hi = s.Grad
+		}
+	}
+	return lo, hi
+}
+
 // Plan is Algorithm 1's output: the ordered sequence of transfer units for
 // one training iteration, plus the planned start time t(i) per gradient
 // (the start of its first span).

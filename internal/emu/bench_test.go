@@ -1,0 +1,31 @@
+package emu
+
+// BenchmarkEmu_Iteration is the live-path counterpart of the simulator's
+// cluster-iteration bench (BENCH_sim.json): one op = one synchronous SGD
+// iteration of the full emulation — backward pass, scheduled pushes over
+// real pipes, PS aggregation, pulls, and the optimizer step. Regenerate
+// the committed numbers with `make bench-emu-json`.
+
+import "testing"
+
+func benchConfig(policy string, shards int) Config {
+	cfg := baseConfig()
+	cfg.Policy = policy
+	cfg.Shards = shards
+	return cfg
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	b.Helper()
+	cfg.Iterations = b.N
+	b.ReportAllocs()
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEmu_Iteration(b *testing.B) {
+	b.Run("fifo", func(b *testing.B) { benchRun(b, benchConfig("fifo", 0)) })
+	b.Run("prophet", func(b *testing.B) { benchRun(b, benchConfig("prophet", 0)) })
+	b.Run("prophet-sharded", func(b *testing.B) { benchRun(b, benchConfig("prophet", 2)) })
+}

@@ -559,7 +559,8 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 				return fmt.Errorf("emu: worker %d pull iter %d tensor %d (policy %s): %w",
 					w, iter, idx, cfg.Failure, err)
 			}
-			m.SetGrad(idx, agg)
+			m.SetGrad(idx, agg) // copies: agg is safe to recycle
+			client.Recycle(agg)
 			if obs != nil {
 				obs.PullAcked(w, idx, iter, clock())
 			}
@@ -689,16 +690,22 @@ func pushOrderOf(sends []wireSend, nTensors int) []int {
 }
 
 // pushSends executes the decided sends under the cross-shard priority
-// gate. One writer goroutine per shard performs the actual Push/PullAsync
-// calls; the coordinator hands each send's tensors to its shard writer over
-// an unbuffered channel, so a handoff completes only when the writer has
-// accepted (started) the tensor. All of send k's tensors are therefore
+// gate. One writer goroutine per shard performs the actual wire calls; the
+// coordinator hands each send's tensor group to its shard writer over an
+// unbuffered channel, so a handoff completes only when the writer has
+// accepted (started) the group. All of send k's tensors are therefore
 // started before any tensor of send k+1 is offered — no shard starts a
 // lower-priority message while a higher-priority one has undispatched
 // tensors — while sends of one scheduler message flow in parallel on their
 // shard links (the driver queues a message's per-shard sub-sends
-// back-to-back). With a single shard this degenerates to the strict
-// sequential push-then-pull-request loop of the unsharded emulation.
+// back-to-back).
+//
+// A shard writer flushes all tensors of one send — plus their inline pull
+// requests — as ONE buffered write (ps.Client.PushPullBatch): the live
+// analogue of the simulator's message granularity, and the Parameter-Box
+// batched wire format. Strategies whose messages complete one tensor at a
+// time (FIFO, credit slices) degenerate to one push+pull-request pair per
+// flush; Prophet blocks ship all their tensors in a single write.
 func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult, pp pushParams) error {
 	shards := client.Shards()
 	jobs := make([]chan pushJob, shards)
@@ -706,49 +713,61 @@ func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, 
 	// depths[s] counts tensors handed to shard s's writer and not yet
 	// picked up — the live analogue of the driver's lane queue depth.
 	depths := make([]atomic.Int64, shards)
+	grad := func(t int) []float64 { return m.GradData(t) }
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		jobs[s] = make(chan pushJob)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			// deliver runs inside PushPullBatch before any byte is written;
+			// tensor indices are distinct across writers, so no two writers
+			// race on a chans slot.
+			deliver := func(t int, ch <-chan ps.PullResult) { chans[t] = ch }
+			var ranges []probe.Range // reused scratch; observers copy
 			for job := range jobs[s] {
-				depths[s].Add(-1)
-				idx := job.idx
+				depths[s].Add(-int64(len(job.tensors)))
 				if errs[s] != nil {
 					continue // keep draining so the coordinator never blocks
 				}
 				if pp.obs != nil {
-					// One span per tensor push: each tensor ships whole on
-					// its shard connection, so the span covers the wire
-					// transfer of one gradient.
-					one := [1]probe.Range{{Grad: idx, Bytes: pp.sizes[idx], Last: true}}
-					pp.obs.SendStart(pp.worker, s, job.seq, iter, idx, pp.labels[idx], pp.sizes[idx], one[:], pp.clock())
+					// One span per flushed batch, carrying a range per
+					// tensor — the same multi-range message shape the
+					// simulator's driver emits. Single-tensor sends keep
+					// the historical one-span-per-push granularity.
+					ranges = ranges[:0]
+					var total float64
+					for _, idx := range job.tensors {
+						ranges = append(ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
+						total += pp.sizes[idx]
+					}
+					first := job.tensors[0]
+					pp.obs.SendStart(pp.worker, s, job.seq, iter, first, pp.labels[first], total, ranges, pp.clock())
 				}
-				if err := client.Shard(s).Push(iter, idx, m.GradData(idx)); err != nil {
-					errs[s] = fmt.Errorf("push tensor %d (shard %d): %w", idx, s, err)
+				if err := client.Shard(s).PushPullBatch(iter, job.tensors, grad, deliver); err != nil {
+					errs[s] = fmt.Errorf("push batch %v (shard %d): %w", job.tensors, s, err)
 					continue
 				}
 				if pp.obs != nil {
 					pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
 				}
-				ch, err := client.Shard(s).PullAsync(iter, idx)
-				if err != nil {
-					errs[s] = fmt.Errorf("pull request tensor %d (shard %d): %w", idx, s, err)
-					continue
-				}
-				chans[idx] = ch // distinct idx per job: no two writers race
 			}
 		}(s)
 	}
 	for seq, snd := range sends {
-		for _, idx := range snd.tensors {
-			d := depths[snd.lane].Add(1)
-			if pp.obs != nil {
-				pp.obs.ShardEnqueued(pp.worker, snd.lane, seq, idx, pp.sizes[idx], int(d), pp.clock())
-			}
-			jobs[snd.lane] <- pushJob{idx: idx, seq: seq}
+		if len(snd.tensors) == 0 {
+			continue
 		}
+		d := depths[snd.lane].Add(int64(len(snd.tensors)))
+		if pp.obs != nil {
+			base := int(d) - len(snd.tensors)
+			for i, idx := range snd.tensors {
+				pp.obs.ShardEnqueued(pp.worker, snd.lane, seq, idx, pp.sizes[idx], base+i+1, pp.clock())
+			}
+		}
+		// The tensors slice is handed to the writer as-is; the collector
+		// that owns it is not reset until after wg.Wait below.
+		jobs[snd.lane] <- pushJob{tensors: snd.tensors, seq: seq}
 	}
 	for s := 0; s < shards; s++ {
 		close(jobs[s])
@@ -757,10 +776,12 @@ func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, 
 	return errors.Join(errs...)
 }
 
-// pushJob is one tensor handed to a shard writer: its index and the
-// scheduler message sequence it belongs to.
+// pushJob is one send's tensor group handed to a shard writer, flushed as
+// a single batched write, plus the scheduler message sequence it belongs
+// to.
 type pushJob struct {
-	idx, seq int
+	tensors []int
+	seq     int
 }
 
 // pushParams carries the probe context of one worker's pushSends call.

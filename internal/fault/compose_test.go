@@ -1,0 +1,138 @@
+package fault
+
+// Chaos composition: the injectors key on absolute byte offsets in the
+// write stream, and the transport's batched FrameWriter emits the exact
+// byte stream of sequential WriteFrame calls — so every fault schedule
+// must behave identically whether frames leave one write at a time or as
+// one buffered flush. These tests pin that equivalence byte for byte.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"prophet/internal/transport"
+)
+
+// deliver writes test frames through a spec-wrapped pipe endpoint and
+// returns every byte the peer received plus the write-side error.
+func deliver(t *testing.T, spec Spec, write func(c net.Conn) error) ([]byte, error) {
+	t.Helper()
+	a, b := net.Pipe()
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(&buf, b)
+	}()
+	werr := write(spec.Wrap(a))
+	a.Close()
+	<-done
+	b.Close()
+	return buf.Bytes(), werr
+}
+
+func TestFaultsComposeWithBufferedWriter(t *testing.T) {
+	frames := []*transport.Frame{
+		{Type: transport.Push, Iter: 1, Tensor: 0, Payload: transport.EncodeFloats([]float64{1, 2, 3})},
+		{Type: transport.PullReq, Iter: 1, Tensor: 0},
+		{Type: transport.Push, Iter: 1, Tensor: 1, Payload: transport.EncodeFloats([]float64{4})},
+		{Type: transport.PullReq, Iter: 1, Tensor: 1},
+	}
+	sequential := func(c net.Conn) error {
+		for _, f := range frames {
+			if err := transport.WriteFrame(c, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	batched := func(c net.Conn) error {
+		fw := transport.NewFrameWriter(c)
+		for _, f := range frames {
+			if err := fw.AppendFrame(f); err != nil {
+				return err
+			}
+		}
+		return fw.Flush()
+	}
+
+	// Offsets chosen to land inside the first payload (corrupt), on a
+	// frame boundary mid-batch (drop), and inside the third frame (stall):
+	// frame 1 spans bytes 0..36, frame 2 is 37..49, frame 3 starts at 50.
+	specs := []Spec{
+		CorruptAt(20),
+		DropAt(50),
+		StallAt(55, time.Millisecond),
+	}
+	for _, spec := range specs {
+		t.Run(spec.String(), func(t *testing.T) {
+			seqBytes, seqErr := deliver(t, spec, sequential)
+			batBytes, batErr := deliver(t, spec, batched)
+			if !bytes.Equal(seqBytes, batBytes) {
+				t.Fatalf("delivered streams differ under %v:\nseq  (%d) %x\nbatch (%d) %x",
+					spec, len(seqBytes), seqBytes, len(batBytes), batBytes)
+			}
+			if errors.Is(seqErr, ErrInjectedDrop) != errors.Is(batErr, ErrInjectedDrop) {
+				t.Fatalf("drop surfaced on one path only: seq %v, batch %v", seqErr, batErr)
+			}
+			if spec.DropAfterBytes > 0 {
+				if !errors.Is(batErr, ErrInjectedDrop) {
+					t.Fatalf("expected injected drop, got %v", batErr)
+				}
+				if int64(len(batBytes)) != spec.DropAfterBytes {
+					t.Fatalf("drop delivered %d bytes, want exactly %d", len(batBytes), spec.DropAfterBytes)
+				}
+			} else if seqErr != nil || batErr != nil {
+				t.Fatalf("unexpected write errors: seq %v, batch %v", seqErr, batErr)
+			}
+		})
+	}
+}
+
+// TestCorruptedBatchStillFrames checks the reader-side view: a corruption
+// inside one frame of a batched flush flips exactly that frame's payload
+// byte, leaving the framing of every other frame in the batch intact.
+func TestCorruptedBatchStillFrames(t *testing.T) {
+	payload := transport.EncodeFloats([]float64{1, 2})
+	frames := []*transport.Frame{
+		{Type: transport.Push, Iter: 1, Tensor: 0, Payload: payload},
+		{Type: transport.PullReq, Iter: 1, Tensor: 0},
+	}
+	// Byte 13 is the first payload byte of frame 1 (after its header).
+	got, err := deliver(t, CorruptAt(13), func(c net.Conn) error {
+		fw := transport.NewFrameWriter(c)
+		for _, f := range frames {
+			if err := fw.AppendFrame(f); err != nil {
+				return err
+			}
+		}
+		return fw.Flush()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := transport.NewFrameReader(bytes.NewReader(got), nil)
+	f1, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(f1.Payload, payload) {
+		t.Fatal("payload byte was not corrupted")
+	}
+	want := append([]byte(nil), payload...)
+	want[0] ^= 0xFF
+	if !bytes.Equal(f1.Payload, want) {
+		t.Fatalf("corruption moved: got %x want %x", f1.Payload, want)
+	}
+	f2, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Type != transport.PullReq || f2.Iter != 1 {
+		t.Fatalf("second frame of the batch lost framing: %+v", f2)
+	}
+}

@@ -1,0 +1,174 @@
+package ps
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sinkConn is a net.Conn whose writes vanish and whose reads block until
+// Close — a stand-in server that lets the client's write path run at full
+// speed with the read loop parked.
+type sinkConn struct {
+	once   sync.Once
+	closed chan struct{}
+}
+
+func newSinkConn() *sinkConn { return &sinkConn{closed: make(chan struct{})} }
+
+func (c *sinkConn) Read(b []byte) (int, error) {
+	<-c.closed
+	return 0, net.ErrClosed
+}
+func (c *sinkConn) Write(b []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+		return len(b), nil
+	}
+}
+func (c *sinkConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+func (c *sinkConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *sinkConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *sinkConn) SetDeadline(t time.Time) error      { return nil }
+func (c *sinkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *sinkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestClientPushZeroAllocs pins the write-side hot-path contract: once the
+// frame writer's scratch has grown, Push encodes and flushes a gradient
+// with zero allocations.
+func TestClientPushZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful without -race")
+	}
+	conn := newSinkConn()
+	c := NewClient(conn)
+	defer c.Close()
+	data := make([]float64, 512)
+	if err := c.Push(0, 0, data); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Push(1, 2, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Push allocated %v per call in steady state, want 0", allocs)
+	}
+}
+
+// startPair wires one worker to a fresh server over an in-memory pipe.
+func startPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := NewServer(1)
+	sc, cc := net.Pipe()
+	go s.Serve([]net.Conn{sc})
+	c := NewClient(cc)
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+// TestPushPullBatchRoundTrip drives a three-tensor batch through a real
+// server: one buffered write carries all pushes and pull requests, and
+// every pull resolves to the (single-worker) mean.
+func TestPushPullBatchRoundTrip(t *testing.T) {
+	_, c := startPair(t)
+	tensors := []int{0, 1, 2}
+	data := map[int][]float64{
+		0: {1, 2, 3},
+		1: {4},
+		2: {5, 6},
+	}
+	chans := make(map[int]<-chan PullResult)
+	err := c.PushPullBatch(3, tensors,
+		func(tensor int) []float64 { return data[tensor] },
+		func(tensor int, ch <-chan PullResult) { chans[tensor] = ch })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != len(tensors) {
+		t.Fatalf("res delivered %d channels, want %d", len(chans), len(tensors))
+	}
+	for _, tensor := range tensors {
+		r := <-chans[tensor]
+		if r.Err != nil {
+			t.Fatalf("tensor %d: %v", tensor, r.Err)
+		}
+		want := data[tensor]
+		if len(r.Data) != len(want) {
+			t.Fatalf("tensor %d: got %v want %v", tensor, r.Data, want)
+		}
+		for i := range want {
+			if r.Data[i] != want[i] {
+				t.Fatalf("tensor %d: got %v want %v", tensor, r.Data, want)
+			}
+		}
+		c.Recycle(r.Data)
+	}
+}
+
+// TestPushPullBatchFailsAsUnit: a duplicate registration mid-batch must
+// unwind every pull the batch registered, leaving the slots free.
+func TestPushPullBatchFailsAsUnit(t *testing.T) {
+	_, c := startPair(t)
+	// Occupy (iter 1, tensor 1) so the batch's second registration dups.
+	if _, err := c.PullAsync(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := c.PushPullBatch(1, []int{0, 1},
+		func(tensor int) []float64 { return []float64{1} },
+		func(tensor int, ch <-chan PullResult) {})
+	if err == nil || !strings.Contains(err.Error(), "duplicate pull") {
+		t.Fatalf("expected duplicate-pull error, got %v", err)
+	}
+	// Tensor 0's registration must have been rolled back.
+	if _, err := c.PullAsync(1, 0); err != nil {
+		t.Fatalf("batch failure leaked a registration: %v", err)
+	}
+}
+
+// TestShardedBatchRejectsCrossShard: the sharded wrapper only batches
+// same-destination tensors — one wire write goes to one shard.
+func TestShardedBatchRejectsCrossShard(t *testing.T) {
+	conns := []*sinkConn{newSinkConn(), newSinkConn()}
+	clients := []*Client{NewClient(conns[0]), NewClient(conns[1])}
+	sc := NewShardedClient(clients, func(tensor int) int { return tensor % 2 })
+	defer sc.Close()
+	err := sc.PushPullBatch(0, []int{0, 1},
+		func(tensor int) []float64 { return nil },
+		func(tensor int, ch <-chan PullResult) {})
+	if err == nil || !strings.Contains(err.Error(), "spans shards") {
+		t.Fatalf("expected cross-shard rejection, got %v", err)
+	}
+	if err := sc.PushPullBatch(0, nil, nil, nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+// TestPushPullBatchConnLost: a dead connection fails the whole batch with
+// ErrConnLost and deregisters everything.
+func TestPushPullBatchConnLost(t *testing.T) {
+	conn := newSinkConn()
+	c := NewClient(conn)
+	conn.Close()
+	defer c.Close()
+	// The read loop may need a moment to observe the close; the write
+	// itself fails regardless.
+	err := c.PushPullBatch(0, []int{0},
+		func(tensor int) []float64 { return []float64{1} },
+		func(tensor int, ch <-chan PullResult) {})
+	if err == nil {
+		t.Fatal("expected failure on closed conn")
+	}
+	if !errors.Is(err, ErrConnLost) && !strings.Contains(err.Error(), "connection lost") {
+		t.Fatalf("want conn-lost flavored error, got %v", err)
+	}
+}

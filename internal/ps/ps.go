@@ -71,6 +71,12 @@ type slot struct {
 	mean     []float64
 	waiting  []pendingPull
 	servedBy []bool // workers that have received the aggregate
+	// inflight[w] marks a response to worker w queued or being written.
+	// It closes the window between a response's delivery and its servedBy
+	// bookkeeping: a duplicate pull arriving in that window is rejected as
+	// a protocol error instead of being served twice (or, worse, parked
+	// forever on a slot the first response is about to garbage-collect).
+	inflight []bool
 	timer    *time.Timer
 }
 
@@ -94,6 +100,11 @@ type Server struct {
 
 	conns   []net.Conn
 	writeMu []sync.Mutex
+	// fws[w] is worker w's response frame writer (guarded by writeMu[w]):
+	// a reusable scratch that encodes the aggregated mean and emits
+	// header+payload as one write, so responders allocate nothing per
+	// response in steady state.
+	fws []transport.FrameWriter
 
 	pushes, pulls int
 
@@ -123,6 +134,7 @@ func NewServer(workers int) *Server {
 		live:       workers,
 		conns:      make([]net.Conn, workers),
 		writeMu:    make([]sync.Mutex, workers),
+		fws:        make([]transport.FrameWriter, workers),
 		workerErrs: make([]error, workers),
 	}
 }
@@ -246,8 +258,12 @@ func (s *Server) ServeWorker(w int, conn net.Conn) error {
 }
 
 func (s *Server) serveConn(w int, conn net.Conn) error {
+	// Payloads come from the shared pool and are recycled right after the
+	// handler decodes them — the handlers never retain wire bytes, only
+	// decoded floats (which have their own pool).
+	fr := transport.NewFrameReader(conn, payloads)
 	for {
-		f, err := transport.ReadFrame(conn)
+		f, err := fr.Read()
 		if err != nil {
 			if isCleanClose(err) || s.IsDropped(w) {
 				return nil // connection closed: worker done (or dropped)
@@ -257,17 +273,18 @@ func (s *Server) serveConn(w int, conn net.Conn) error {
 		if s.IsDropped(w) {
 			return nil
 		}
+		var herr error
 		switch f.Type {
 		case transport.Push:
-			if err := s.handlePush(w, f); err != nil {
-				return err
-			}
+			herr = s.handlePush(w, f)
 		case transport.PullReq:
-			if err := s.handlePull(w, f); err != nil {
-				return err
-			}
+			herr = s.handlePull(w, f)
 		default:
-			return fmt.Errorf("unexpected frame type %v", f.Type)
+			herr = fmt.Errorf("unexpected frame type %v", f.Type)
+		}
+		fr.Recycle(f)
+		if herr != nil {
+			return herr
 		}
 	}
 }
@@ -319,6 +336,7 @@ func (s *Server) getSlot(k slotKey) *slot {
 		sl = &slot{
 			contrib:  make([][]float64, s.workers),
 			servedBy: make([]bool, s.workers),
+			inflight: make([]bool, s.workers),
 		}
 		s.slots[k] = sl
 	}
@@ -326,14 +344,20 @@ func (s *Server) getSlot(k slotKey) *slot {
 }
 
 func (s *Server) handlePush(w int, f *transport.Frame) error {
-	data, err := transport.DecodeFloats(f.Payload)
+	n, err := transport.FloatCount(f.Payload)
 	if err != nil {
 		return fmt.Errorf("push: %w", err)
 	}
+	// The contribution buffer comes from the float pool; aggregate hands it
+	// back once the slot's mean is computed, so steady-state pushes reuse
+	// the previous iteration's buffers.
+	data := floats.get(n)
+	transport.DecodeFloatsInto(data, f.Payload)
 	k := slotKey{f.Iter, f.Tensor}
 	s.mu.Lock()
 	if s.dead[w] {
 		s.mu.Unlock()
+		floats.put(data)
 		return nil
 	}
 	s.pushes++
@@ -342,11 +366,13 @@ func (s *Server) handlePush(w int, f *transport.Frame) error {
 	}
 	if s.done[k] {
 		s.mu.Unlock()
+		floats.put(data)
 		return fmt.Errorf("push for tensor %d of iteration %d, which was already aggregated and served", f.Tensor, f.Iter)
 	}
 	sl := s.getSlot(k)
 	if sl.mean != nil || sl.contrib[w] != nil {
 		s.mu.Unlock()
+		floats.put(data)
 		return fmt.Errorf("pushed tensor %d twice in iteration %d", f.Tensor, f.Iter)
 	}
 	sl.contrib[w] = data
@@ -388,6 +414,11 @@ func (s *Server) takeWaitingLocked(sl *slot) []pendingPull {
 // large parameter response streams back. Write failures are routed through
 // the per-worker failure path rather than aborting aggregation.
 func (s *Server) respondAsync(w int, k slotKey) {
+	s.mu.Lock()
+	if sl, ok := s.slots[k]; ok {
+		sl.inflight[w] = true
+	}
+	s.mu.Unlock()
 	s.respondWG.Add(1)
 	go func() {
 		defer s.respondWG.Done()
@@ -429,6 +460,16 @@ func (sl *slot) aggregate(dead []bool, live int) error {
 		mean[i] *= inv
 	}
 	sl.mean = mean
+	// Every contribution (live or dead) is summed or abandoned by now:
+	// recycle the decoded buffers for the next pushes. The mean itself is
+	// not pooled — concurrent responders may still hold a reference when
+	// the slot is garbage-collected.
+	for w, c := range sl.contrib {
+		if c != nil {
+			sl.contrib[w] = nil
+			floats.put(c)
+		}
+	}
 	sl.contrib = nil
 	return nil
 }
@@ -449,6 +490,13 @@ func (s *Server) handlePull(w int, f *transport.Frame) error {
 		return fmt.Errorf("duplicate or late pull: tensor %d of iteration %d was already served to every worker", f.Tensor, f.Iter)
 	}
 	sl := s.getSlot(k)
+	if sl.servedBy[w] || sl.inflight[w] {
+		// The slot survives only because other workers are not yet served
+		// (or the first response's bookkeeping is still in flight) — for
+		// THIS worker the pull is a duplicate either way.
+		s.mu.Unlock()
+		return fmt.Errorf("duplicate pull: tensor %d of iteration %d was already served to this worker", f.Tensor, f.Iter)
+	}
 	if sl.mean == nil {
 		sl.waiting = append(sl.waiting, pendingPull{worker: w})
 		s.armStragglerLocked(k, sl)
@@ -521,9 +569,10 @@ func (s *Server) DropWorker(w int) {
 	if s.live > 0 {
 		for k, sl := range s.slots {
 			if sl.mean == nil {
-				if sl.contrib[w] != nil {
+				if c := sl.contrib[w]; c != nil {
 					sl.contrib[w] = nil
 					sl.got--
+					floats.put(c)
 				}
 				if sl.got == s.live {
 					if err := sl.aggregate(s.dead, s.live); err != nil {
@@ -578,21 +627,28 @@ func (s *Server) respond(w int, k slotKey) error {
 	conn := s.conns[w]
 	s.mu.Unlock()
 
-	frame := &transport.Frame{
-		Type:    transport.PullResp,
-		Iter:    k.iter,
-		Tensor:  k.tensor,
-		Payload: transport.EncodeFloats(mean),
-	}
+	// Encode the mean straight into the worker's reusable frame writer and
+	// emit header+payload as one write: one limiter Wait, one syscall, no
+	// per-response payload allocation.
 	s.writeMu[w].Lock()
-	err := transport.WriteFrame(conn, frame)
+	fw := &s.fws[w]
+	fw.Reset(conn)
+	err := fw.WriteFloats(transport.PullResp, k.iter, k.tensor, mean)
 	s.writeMu[w].Unlock()
 	if err != nil {
+		// The delivery failed: clear the in-flight mark so a reconnecting
+		// client's retried pull is served rather than rejected.
+		s.mu.Lock()
+		if sl, ok := s.slots[k]; ok {
+			sl.inflight[w] = false
+		}
+		s.mu.Unlock()
 		return err
 	}
 
 	s.mu.Lock()
 	if sl, ok := s.slots[k]; ok {
+		sl.inflight[w] = false
 		sl.servedBy[w] = true
 		if s.allServedLocked(sl) {
 			if sl.timer != nil {
@@ -642,6 +698,11 @@ type Client struct {
 	mRedials, mTimeouts, mConnLost *probe.Counter
 
 	writeMu sync.Mutex // serializes frame writes
+	// fw is the client's reusable frame writer (guarded by writeMu): pushes
+	// encode gradients straight into its scratch and every flush is one
+	// write on the wire. Reset to the current connection per operation, so
+	// reconnects are picked up automatically.
+	fw      transport.FrameWriter
 	reconMu sync.Mutex // serializes reconnect attempts
 
 	mu      sync.Mutex
@@ -675,8 +736,9 @@ func NewClientWithOptions(conn net.Conn, opts Options) *Client {
 
 func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 	defer close(done)
+	fr := transport.NewFrameReader(conn, payloads)
 	for {
-		f, err := transport.ReadFrame(conn)
+		f, err := fr.Read()
 		if err != nil {
 			lost := fmt.Errorf("%w: %v", ErrConnLost, err)
 			if c.mConnLost != nil {
@@ -692,10 +754,10 @@ func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 			return
 		}
 		if f.Type != transport.PullResp {
+			fr.Recycle(f)
 			continue
 		}
 		k := slotKey{f.Iter, f.Tensor}
-		data, derr := transport.DecodeFloats(f.Payload)
 		c.mu.Lock()
 		ch, ok := c.pending[k]
 		if ok {
@@ -703,36 +765,53 @@ func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 		}
 		c.mu.Unlock()
 		if !ok {
+			fr.Recycle(f)
 			continue
 		}
+		n, derr := transport.FloatCount(f.Payload)
 		if derr != nil {
+			fr.Recycle(f)
 			// A corrupt response payload must fail the matching pull, not
 			// strand it: the waiter would otherwise block forever.
 			ch <- PullResult{Err: fmt.Errorf("ps: pull response for iter %d tensor %d: %w", f.Iter, f.Tensor, derr)}
 			continue
 		}
+		// Decode into a pooled buffer owned by the puller; callers that are
+		// done with the result can hand it back through Recycle.
+		data := floats.get(n)
+		transport.DecodeFloatsInto(data, f.Payload)
+		fr.Recycle(f)
 		ch <- PullResult{Data: data}
 	}
 }
 
-// Push sends a gradient tensor to the server.
+// Push sends a gradient tensor to the server: the data is encoded straight
+// into the client's reusable scratch and leaves as a single write — zero
+// allocations in steady state.
 func (c *Client) Push(iter, tensor int, data []float64) error {
-	f := &transport.Frame{
-		Type:    transport.Push,
-		Iter:    uint32(iter),
-		Tensor:  uint32(tensor),
-		Payload: transport.EncodeFloats(data),
-	}
-	return c.writeFrame(f)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.fw.Reset(c.currentConn())
+	return c.fw.WriteFloats(transport.Push, uint32(iter), uint32(tensor), data)
+}
+
+// Recycle hands a pull result's buffer back to the gradient pool. Optional
+// — an unrecycled result is ordinary garbage — but the caller must not use
+// data afterwards.
+func (c *Client) Recycle(data []float64) { floats.put(data) }
+
+func (c *Client) currentConn() net.Conn {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	return conn
 }
 
 func (c *Client) writeFrame(f *transport.Frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	c.mu.Lock()
-	conn := c.conn
-	c.mu.Unlock()
-	return transport.WriteFrame(conn, f)
+	c.fw.Reset(c.currentConn())
+	return c.fw.WriteFrame(f)
 }
 
 // register reserves a pending-pull channel for k and reports the current
@@ -776,6 +855,55 @@ func (c *Client) PullAsync(iter, tensor int) (<-chan PullResult, error) {
 		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
 	return ch, nil
+}
+
+// PushPullBatch pushes every listed tensor and issues its pull request in
+// ONE buffered wire write: 2·len(tensors) frames, a single limiter Wait,
+// a single write on the connection — the Parameter-Box-style batched wire
+// format for all same-destination tensors of one scheduler message. grad
+// returns tensor t's data (borrowed only for the duration of the call);
+// res receives each tensor's result channel, delivered before any byte
+// hits the wire so a response racing back can never be dropped. The batch
+// fails as a unit: on error no pull of this batch stays registered.
+// PushPullBatch never reconnects (like PullAsync).
+func (c *Client) PushPullBatch(iter int, tensors []int, grad func(tensor int) []float64, res func(tensor int, ch <-chan PullResult)) error {
+	nreg := 0
+	var err error
+	for _, t := range tensors {
+		k := slotKey{uint32(iter), uint32(t)}
+		ch, _, rerr := c.register(k)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		nreg++
+		res(t, ch)
+	}
+	if err == nil {
+		c.writeMu.Lock()
+		c.fw.Reset(c.currentConn())
+		for _, t := range tensors {
+			if err = c.fw.AppendFloats(transport.Push, uint32(iter), uint32(t), grad(t)); err != nil {
+				break
+			}
+			if err = c.fw.AppendFrame(&transport.Frame{Type: transport.PullReq, Iter: uint32(iter), Tensor: uint32(t)}); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			if err = c.fw.Flush(); err != nil {
+				err = fmt.Errorf("%w: %v", ErrConnLost, err)
+			}
+		}
+		c.writeMu.Unlock()
+	}
+	if err != nil {
+		for i := 0; i < nreg; i++ {
+			c.deregister(slotKey{uint32(iter), uint32(tensors[i])})
+		}
+		return err
+	}
+	return nil
 }
 
 // Pull requests tensor `tensor` of iteration `iter` and blocks until the

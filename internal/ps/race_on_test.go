@@ -1,0 +1,7 @@
+//go:build race
+
+package ps
+
+// raceEnabled lets allocation-count tests skip exact-zero assertions: the
+// race detector's instrumentation adds allocations of its own.
+const raceEnabled = true

@@ -62,6 +62,26 @@ func (c *ShardedClient) PullAsync(iter, tensor int) (<-chan PullResult, error) {
 	return c.clients[c.ShardOf(tensor)].PullAsync(iter, tensor)
 }
 
+// PushPullBatch pushes the listed tensors — which must all live on one
+// shard — and issues their pull requests in one buffered write on that
+// shard's connection (see Client.PushPullBatch).
+func (c *ShardedClient) PushPullBatch(iter int, tensors []int, grad func(tensor int) []float64, res func(tensor int, ch <-chan PullResult)) error {
+	if len(tensors) == 0 {
+		return nil
+	}
+	s := c.ShardOf(tensors[0])
+	for _, t := range tensors[1:] {
+		if c.ShardOf(t) != s {
+			return fmt.Errorf("ps: batch spans shards %d and %d", s, c.ShardOf(t))
+		}
+	}
+	return c.clients[s].PushPullBatch(iter, tensors, grad, res)
+}
+
+// Recycle hands a pull result's buffer back to the gradient pool (see
+// Client.Recycle).
+func (c *ShardedClient) Recycle(data []float64) { floats.put(data) }
+
 // Pull blocks for the aggregated tensor from its shard's server.
 func (c *ShardedClient) Pull(iter, tensor int) ([]float64, error) {
 	return c.clients[c.ShardOf(tensor)].Pull(iter, tensor)

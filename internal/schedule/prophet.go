@@ -146,11 +146,11 @@ func (p *Prophet) renderUnit(u core.Unit) Message {
 	for _, s := range u.Spans {
 		msg.Pieces = append(msg.Pieces, Piece{Grad: s.Grad, Bytes: s.Bytes, Last: s.Last})
 	}
-	grads := u.Grads()
+	lo, hi := u.GradRange()
 	if u.Phase == core.Backward {
-		msg.Label = fmt.Sprintf("block[g%d..g%d]", grads[0], grads[len(grads)-1])
+		msg.Label = fmt.Sprintf("block[g%d..g%d]", lo, hi)
 	} else {
-		msg.Label = fmt.Sprintf("fwd[g%d]", grads[0])
+		msg.Label = fmt.Sprintf("fwd[g%d]", lo)
 	}
 	msg.Stall = p.EngineCost
 	return msg

@@ -1,0 +1,114 @@
+package transport
+
+// Regression tests for stale-deadline poisoning: the timeout helpers must
+// clear the connection deadline on EVERY return path. Before the fix, a
+// timed-out ReadFrameTimeout/WriteFrameTimeout left the expired deadline
+// armed, so the next I/O on the same connection — for example a retry
+// before redialing — failed instantly with a bogus timeout. ReadFrameCtx
+// had the racier variant: its watcher goroutine could poke the deadline
+// into the past after ReadFrame already returned successfully.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestReadFrameTimeoutRecovers times a read out once, then asserts a plain
+// ReadFrame on the same connection still works. Fails on the pre-fix code:
+// the expired deadline stayed armed and poisoned the second read.
+func TestReadFrameTimeoutRecovers(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := ReadFrameTimeout(a, 10*time.Millisecond); !IsTimeout(err) {
+		t.Fatalf("expected timeout with no writer, got %v", err)
+	}
+
+	werr := make(chan error, 1)
+	go func() { werr <- WriteFrame(b, &Frame{Type: Push, Iter: 3, Tensor: 7}) }()
+	f, err := ReadFrame(a)
+	if err != nil {
+		t.Fatalf("read after timeout poisoned by stale deadline: %v", err)
+	}
+	if f.Iter != 3 || f.Tensor != 7 {
+		t.Fatalf("wrong frame after recovery: %+v", f)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+// TestWriteFrameTimeoutRecovers is the write-side analog: a timed-out
+// write must not leave an expired write deadline poisoning the next write.
+func TestWriteFrameTimeoutRecovers(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// No reader on b: the synchronous pipe write cannot complete.
+	err := WriteFrameTimeout(a, &Frame{Type: Push, Iter: 1}, 10*time.Millisecond)
+	if !IsTimeout(err) {
+		t.Fatalf("expected timeout with no reader, got %v", err)
+	}
+
+	rerr := make(chan error, 1)
+	go func() {
+		f, err := ReadFrame(b)
+		if err == nil && (f.Iter != 5 || f.Type != PullReq) {
+			t.Errorf("wrong frame after recovery: %+v", f)
+		}
+		rerr <- err
+	}()
+	if err := WriteFrame(a, &Frame{Type: PullReq, Iter: 5}); err != nil {
+		t.Fatalf("write after timeout poisoned by stale deadline: %v", err)
+	}
+	if err := <-rerr; err != nil {
+		t.Fatalf("read: %v", err)
+	}
+}
+
+// TestReadFrameCtxNoPoisonAfterSuccess hammers the watcher teardown race:
+// cancel the context right as ReadFrameCtx returns a frame, many times on
+// one connection. Before the fix the watcher could observe the
+// cancellation after ReadFrame succeeded and poke the deadline into the
+// past concurrently with (or after) the clear — the poisoning then
+// surfaced on a LATER read as a timeout with no context error. Run under
+// -race to also catch the unsynchronized SetReadDeadline.
+func TestReadFrameCtxNoPoisonAfterSuccess(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	const rounds = 300
+	werr := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := WriteFrame(b, &Frame{Type: Push, Iter: uint32(i)}); err != nil {
+				werr <- err
+				return
+			}
+		}
+		werr <- nil
+	}()
+
+	for i := 0; i < rounds; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		f, err := ReadFrameCtx(ctx, a)
+		go cancel() // race the cancellation against the watcher teardown
+		if err != nil {
+			if IsTimeout(err) && ctx.Err() == nil {
+				t.Fatalf("round %d: connection poisoned by stale deadline: %v", i, err)
+			}
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if f.Iter != uint32(i) {
+			t.Fatalf("round %d: got frame iter %d", i, f.Iter)
+		}
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+}

@@ -105,7 +105,10 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 
 // ReadFrameTimeout reads one frame from c, failing with a timeout error if
 // the frame has not fully arrived within d (0 or negative = no deadline).
-// The read deadline is cleared before returning.
+// The read deadline is cleared before returning on every path — including
+// failure: leaving an already-expired deadline armed would make the next
+// read on the same connection (e.g. a retry before redialing) fail
+// instantly with a bogus timeout.
 func ReadFrameTimeout(c net.Conn, d time.Duration) (*Frame, error) {
 	if d <= 0 {
 		return ReadFrame(c)
@@ -114,9 +117,7 @@ func ReadFrameTimeout(c net.Conn, d time.Duration) (*Frame, error) {
 		return nil, err
 	}
 	f, err := ReadFrame(c)
-	if err == nil {
-		c.SetReadDeadline(time.Time{})
-	}
+	c.SetReadDeadline(time.Time{})
 	return f, err
 }
 
@@ -132,9 +133,9 @@ func WriteFrameTimeout(c net.Conn, f *Frame, d time.Duration) error {
 		return err
 	}
 	err := WriteFrame(c, f)
-	if err == nil {
-		c.SetWriteDeadline(time.Time{})
-	}
+	// Clear on every path: a stale expired deadline would poison the next
+	// write on this connection.
+	c.SetWriteDeadline(time.Time{})
 	return err
 }
 
@@ -149,7 +150,9 @@ func ReadFrameCtx(ctx context.Context, c net.Conn) (*Frame, error) {
 		return nil, err
 	}
 	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
 	go func() {
+		defer close(watcherDone)
 		select {
 		case <-ctx.Done():
 			c.SetReadDeadline(time.Now()) // interrupt the blocked read
@@ -158,13 +161,18 @@ func ReadFrameCtx(ctx context.Context, c net.Conn) (*Frame, error) {
 	}()
 	f, err := ReadFrame(c)
 	close(stop)
+	// Wait for the watcher before clearing: without the rendezvous it could
+	// observe ctx.Done() after ReadFrame already returned and poke the
+	// deadline into the past concurrently with (or after) the clear below,
+	// poisoning the connection for its next read nondeterministically.
+	<-watcherDone
+	c.SetReadDeadline(time.Time{})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
 		return nil, err
 	}
-	c.SetReadDeadline(time.Time{})
 	return f, nil
 }
 
@@ -186,13 +194,12 @@ func EncodeFloats(xs []float64) []byte {
 
 // DecodeFloats unpacks little-endian float64 bytes.
 func DecodeFloats(b []byte) ([]float64, error) {
-	if len(b)%8 != 0 {
-		return nil, fmt.Errorf("transport: float payload length %d not a multiple of 8", len(b))
+	n, err := FloatCount(b)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]float64, len(b)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
+	out := make([]float64, n)
+	DecodeFloatsInto(out, b)
 	return out, nil
 }
 
