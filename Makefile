@@ -10,9 +10,14 @@ RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive 
 # Native fuzz targets and their packages (go runs one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json fuzz trace-smoke
+# Per-package coverage floors (percent) for the scheduling core: the drive
+# layer, the collective transports on top of it, and the strategy registry.
+COVER_PKGS  := ./internal/drive ./internal/allreduce ./internal/strategy
+COVER_FLOOR ?= 80
 
-check: tier1 lint race trace-smoke
+.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json fuzz trace-smoke conformance cover
+
+check: tier1 lint race conformance cover trace-smoke
 
 tier1: build vet test
 
@@ -35,6 +40,22 @@ lint:
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# The (strategy × transport) conformance table under the race detector: every
+# registry strategy against every backend's chunk schedule through one Driver.
+conformance:
+	$(GO) test -race -count=1 -run 'TestSchedulerConformance' ./internal/drive
+
+# Coverage gate over the scheduling core: each package in COVER_PKGS must
+# individually clear COVER_FLOOR percent of statements.
+cover:
+	@fail=0; for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover $$pkg | tail -n 1); echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; fail=1; \
+		elif awk "BEGIN{exit !($$pct < $(COVER_FLOOR))}"; then \
+			echo "coverage $$pct% below floor $(COVER_FLOOR)% for $$pkg"; fail=1; fi; \
+	done; exit $$fail
 
 # End-to-end trace export gate: run prophet-trace on both execution paths
 # and validate the Chrome trace JSON (structure + required fields).

@@ -13,7 +13,9 @@ import (
 	"os"
 	"strings"
 
+	"prophet/internal/allreduce"
 	"prophet/internal/cluster"
+	"prophet/internal/drive"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/profiler"
@@ -38,6 +40,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "parameter server shards (key-sharded multi-PS)")
 		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
 		splitNIC  = flag.Bool("split-nic", false, "scale each shard link to 1/shards of the bandwidth (one NIC split across shards) instead of full speed per shard")
+		transport = flag.String("transport", "ps", "transport backend: "+strings.Join(drive.BackendNames(), "|"))
 	)
 	flag.Parse()
 
@@ -81,14 +84,56 @@ func main() {
 			prof.Iterations, len(prof.Blocks), 1e3*prof.Gen[0], prof.WallTime)
 		opt.Profile = prof.Profile()
 	}
+	uplink := func(int) netsim.LinkConfig {
+		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
+	}
+
+	if *transport != "ps" {
+		// Collective path: the strategy schedules ring/tree chunk blocks
+		// through the same drive layer; sharding is a PS concept.
+		if *shards != 1 {
+			fmt.Fprintf(os.Stderr, "prophet-sim: -shards is a PS option (transport %s)\n", *transport)
+			os.Exit(1)
+		}
+		factory, err := cluster.ByNameTransport(canonical, *transport, *workers, wire, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := allreduce.Run(allreduce.Config{
+			Model:      wire,
+			Batch:      *batch,
+			Workers:    *workers,
+			Agg:        agg,
+			Link:       uplink(0),
+			Backend:    *transport,
+			Scheduler:  factory,
+			Iterations: *iters,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		warmup := 2
+		if *iters <= warmup {
+			warmup = 0
+		}
+		fmt.Printf("%s over %s on %s: batch %d, %d workers, %.0f Mbps/link\n",
+			res.SchedulerName, res.Backend, base.Name, *batch, *workers, *bandwidth)
+		fmt.Printf("  training rate:   %8.2f samples/s per worker (%8.2f aggregate)\n",
+			res.Rate(warmup), res.Rate(warmup)*float64(*workers))
+		fmt.Printf("  GPU utilization: %7.1f%%\n", 100*res.GPU.BusyBetween(0, res.Duration)/res.Duration)
+		fmt.Printf("  collective ops:  %7d (%.1f per iteration)\n",
+			res.Reductions, float64(res.Reductions)/float64(*iters))
+		fmt.Printf("  simulated time:  %7.2f s for %d iterations\n", res.Duration, *iters)
+		return
+	}
+
 	factory, err := cluster.ByName(canonical, wire, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-
-	uplink := func(int) netsim.LinkConfig {
-		return netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(*bandwidth))))
 	}
 	cfg := cluster.Config{
 		Model:          wire,

@@ -17,7 +17,9 @@ import (
 	"os"
 	"strings"
 
+	"prophet/internal/allreduce"
 	"prophet/internal/cluster"
+	"prophet/internal/drive"
 	"prophet/internal/emu"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
@@ -44,6 +46,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed")
 		hidden    = flag.Int("hidden", 64, "hidden layer width (emu path)")
 		topK      = flag.Int("topk", 3, "blocking gradients listed per iteration in the attribution report")
+		transport = flag.String("transport", "ps", "transport backend (sim path): "+strings.Join(drive.BackendNames(), "|"))
 		outJSON   = flag.String("out", "", "Chrome trace JSON output path")
 		outCSV    = flag.String("csv", "", "timeline CSV output path (GPU util + throughput)")
 		outXfer   = flag.String("transfers", "", "per-gradient transfer CSV output path")
@@ -74,6 +77,7 @@ func main() {
 		runSim(simConfig{
 			model: *modelName, batch: *batch, workers: *workers,
 			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
+			transport: *transport,
 		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
 	case "emu":
 		runEmu(emuConfig{
@@ -93,6 +97,7 @@ type simConfig struct {
 	policy         string
 	iters          int
 	seed           uint64
+	transport      string
 }
 
 type emuConfig struct {
@@ -148,6 +153,10 @@ func runSim(cfg simConfig, out outputs) {
 		}
 		opt.Profile = prof.Profile()
 	}
+	if cfg.transport != "" && cfg.transport != "ps" {
+		runSimCollective(cfg, wire, agg, opt, out)
+		return
+	}
 	factory, err := cluster.ByName(cfg.policy, wire, opt)
 	if err != nil {
 		fatal(err)
@@ -191,6 +200,55 @@ func runSim(cfg simConfig, out outputs) {
 	if out.xfer != "" {
 		writeFile(out.xfer, func(f *os.File) error {
 			return trace.WriteTransferCSV(f, res.Transfers)
+		})
+	}
+	writeAttrib(rec, out)
+}
+
+// runSimCollective drives the collective path (ring/tree over the drive
+// layer). Every export comes from the probe recorder, exactly like the live
+// path — the collective transmitter feeds the same event stream.
+func runSimCollective(cfg simConfig, wire *model.Model, agg stepwise.Buckets, opt cluster.Options, out outputs) {
+	factory, err := cluster.ByNameTransport(cfg.policy, cfg.transport, cfg.workers, wire, opt)
+	if err != nil {
+		fatal(err)
+	}
+	rec := probe.NewSpanRecorder()
+	res, err := allreduce.Run(allreduce.Config{
+		Model:      wire,
+		Batch:      cfg.batch,
+		Workers:    cfg.workers,
+		Agg:        agg,
+		Link:       netsim.DefaultLinkConfig(netsim.Const(netsim.Goodput(netsim.Mbps(cfg.bandwidth)))),
+		Backend:    cfg.transport,
+		Scheduler:  factory,
+		Iterations: cfg.iters,
+		Seed:       cfg.seed,
+		Observer:   rec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if out.json != "" {
+		writeFile(out.json, func(f *os.File) error {
+			return trace.WriteChromeTrace(f, trace.ChromeTraceSpans(rec))
+		})
+	}
+	if out.csv != "" {
+		writeFile(out.csv, func(f *os.File) error {
+			const bin = 0.05
+			gpu := res.GPU.Timeline(0, res.Duration, bin)
+			rate := rec.Rate(0)
+			if rate == nil {
+				return fmt.Errorf("no transfers recorded")
+			}
+			return trace.WriteCSV(f, bin,
+				[]string{"time_s", "gpu_util", "uplink_Bps"}, gpu, rate.Timeline(0, res.Duration, bin))
+		})
+	}
+	if out.xfer != "" {
+		writeFile(out.xfer, func(f *os.File) error {
+			return trace.WriteTransferCSV(f, rec.Transfers())
 		})
 	}
 	writeAttrib(rec, out)

@@ -1,8 +1,9 @@
-// Package allreduce models ring all-reduce training — the architecture the
-// paper's related work contrasts with the PS design (PACE schedules
-// all-reduce tensors preemptively; Horovod popularized the ring). It lets
-// the experiments answer the natural reviewer question: how does PS +
-// Prophet compare against a decentralized ring on the same workload?
+// Package allreduce models collective all-reduce training — the
+// architecture the paper's related work contrasts with the PS design (PACE
+// schedules all-reduce tensors preemptively; Horovod popularized the ring).
+// It lets the experiments answer the natural reviewer question: how does
+// PS + Prophet compare against a decentralized collective on the same
+// workload?
 //
 // Ring cost model: a tensor of s bytes across W workers runs 2(W−1) steps,
 // each moving s/W bytes on every link simultaneously, so the wall time on
@@ -10,23 +11,41 @@
 //
 //	T(s) = 2(W−1) × (c + (s/W + ramp)/B)
 //
-// Small tensors are murdered by the 2(W−1) per-step overheads, which is
-// why frameworks fuse tensors into a fusion buffer before reducing — the
-// ring's analogue of Prophet's blocks, but sized by a static threshold
+// Small tensors are murdered by the 2(W−1) per-step overheads, which is why
+// frameworks fuse tensors into a fusion buffer before reducing — the ring's
+// analogue of Prophet's blocks, historically sized by a static threshold
 // rather than the stepwise windows.
+//
+// Since the transport refactor, the package no longer hand-rolls that loop:
+// the run is driven by the shared drive layer. A schedule.Scheduler (any
+// registry strategy, or the legacy Fusion default) decides block assembly;
+// drive.Driver applies the fetch gate, byte offsets, and probe stream; and
+// a collective Transmitter plays each decision as drive.Backend chunk steps
+// ("ring" or "tree") on a netsim link. Workers run in lockstep (the ring is
+// itself a barrier), so a single worker timeline with one serial link
+// captures the system; forward segment i waits for the reduction covering
+// tensor i (Eq. 3's gating, all-reduce flavoured).
 package allreduce
 
 import (
 	"fmt"
 
+	"prophet/internal/drive"
 	"prophet/internal/metrics"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
+	"prophet/internal/probe"
+	"prophet/internal/schedule"
 	"prophet/internal/sim"
 	"prophet/internal/stepwise"
 )
 
-// Config describes one simulated ring all-reduce training run.
+// SchedulerFactory builds a per-worker strategy instance. It is an alias of
+// the same function shape as cluster.SchedulerFactory, so factories built
+// by cluster.ByNameTransport plug in without conversion.
+type SchedulerFactory = func(worker int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler
+
+// Config describes one simulated collective all-reduce training run.
 type Config struct {
 	Model    *model.Model
 	Hardware model.Hardware
@@ -39,8 +58,14 @@ type Config struct {
 	Agg stepwise.Buckets
 	// Link describes each inter-worker link; rings are homogeneous.
 	Link netsim.LinkConfig
-	// FusionBytes is the fusion-buffer threshold: ready tensors are fused
-	// until the buffer exceeds it (Horovod-style; default 64 MB).
+	// Backend names the collective transport: "ring" (default) or "tree".
+	// The PS transport is the cluster package's path, not this one.
+	Backend string
+	// Scheduler builds the block-assembly strategy driving the collective.
+	// Nil selects the legacy Horovod-style Fusion policy with FusionBytes.
+	Scheduler SchedulerFactory
+	// FusionBytes is the Fusion fallback's buffer threshold (default 64 MB).
+	// Ignored when Scheduler is set — block assembly is the strategy's job.
 	FusionBytes float64
 	// Iterations to run (default 20).
 	Iterations int
@@ -48,6 +73,12 @@ type Config struct {
 	Jitter float64
 	// Seed drives randomness.
 	Seed uint64
+	// Observer taps the drive-layer probe stream (may be nil). An Observer
+	// that also implements probe.StepObserver additionally receives the
+	// per-chunk collective steps.
+	Observer probe.Observer
+	// RecordMessages enables the drive decision log (Result.Messages).
+	RecordMessages bool
 }
 
 func (c *Config) setDefaults() error {
@@ -59,6 +90,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Link.Trace == nil {
 		c.Link = netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(10)))
+	}
+	if c.Backend == "" {
+		c.Backend = "ring"
 	}
 	if c.FusionBytes == 0 {
 		c.FusionBytes = 64e6
@@ -88,45 +122,153 @@ func (c *Config) setDefaults() error {
 	return nil
 }
 
-// Result reports a ring run.
+// Result reports a collective run.
 type Result struct {
 	Iters    metrics.IterationLog
 	GPU      *metrics.IntervalSeries
 	Duration float64
 	Batch    int
-	// Reductions counts all-reduce operations (fused buffers) executed.
+	// Reductions counts collective operations (fused buffers) executed.
 	Reductions int
+	// SchedulerName and Backend echo the resolved strategy and transport.
+	SchedulerName string
+	Backend       string
+	// Messages is the drive decision log (populated when RecordMessages).
+	Messages []drive.Record
 }
 
 // Rate returns the per-worker steady-state samples/sec.
 func (r *Result) Rate(warmup int) float64 { return r.Iters.SteadyRate(warmup, r.Batch) }
 
-// stepTime returns the wall time of one fused all-reduce of `bytes`.
-func stepTime(cfg *Config, bytes float64) float64 {
-	w := float64(cfg.Workers)
-	b := cfg.Link.Trace.At(0)
-	perStep := cfg.Link.SetupTime + (bytes/w+cfg.Link.RampBytes)/b
-	return 2 * (w - 1) * perStep
+// collectiveTx plays one dispatched scheduler message as a full collective
+// operation on the ring's serial link: Backend.ChunkBytes worth of chunk
+// transfers back to back, each paying the link's per-message overhead (the
+// strategy's engine Stall is serialized once, before the first chunk). The
+// lane stays busy from dispatch to the last chunk's completion, so the
+// drive layer's fetch gate and the probe span cover the whole operation.
+type collectiveTx struct {
+	eng     *sim.Engine
+	link    *netsim.Link
+	be      drive.Backend
+	workers int
+	stepObs probe.StepObserver
+
+	active bool
+	chunks []float64
+	// completes holds the grads the in-flight message finishes, copied out
+	// of the Send's recycled Ranges.
+	completes []int
+	label     string
+	seq, iter int
+	stall     float64
+	step      int
+	stepAt    float64
+
+	stepDone func() // onStepDone, bound once
+	// finish is the run's completion hook: mark reductions, then
+	// Driver.Completed + Pump. Called outside Start, never reentrantly.
+	finish func(completes []int, iter int, now float64)
 }
 
-// Run simulates synchronous ring all-reduce training. Workers run in
-// lockstep (the ring is itself a barrier), so a single worker timeline with
-// a serial "ring" resource captures the system: backward releases tensors
-// in stepwise bursts; ready tensors fuse into buffers; each buffer costs
-// one ring reduction; forward segment i waits for the reduction covering
-// tensor i (Eq. 3's gating, all-reduce flavoured).
+// Busy implements drive.Transmitter.
+func (t *collectiveTx) Busy(lane int) bool { return t.active }
+
+// Start implements drive.Transmitter.
+func (t *collectiveTx) Start(s *drive.Send) {
+	t.active = true
+	t.label, t.seq, t.iter = s.Msg.Label, s.Seq, s.Iter
+	t.stall = s.Msg.Stall
+	t.completes = t.completes[:0]
+	for _, r := range s.Ranges {
+		if r.Last {
+			t.completes = append(t.completes, r.Grad)
+		}
+	}
+	t.chunks = t.be.ChunkBytes(s.Msg.Bytes, t.workers, t.chunks[:0])
+	t.step = 0
+	if len(t.chunks) == 0 {
+		// W=1 degenerate: no wire steps. Complete on a zero-delay event so
+		// the driver's non-reentrant Pump is never re-entered from Start.
+		t.eng.Schedule(0, func() { t.complete(t.eng.Now()) })
+		return
+	}
+	t.playStep()
+}
+
+func (t *collectiveTx) playStep() {
+	extra := 0.0
+	if t.step == 0 {
+		extra = t.stall
+	}
+	t.stepAt = t.eng.Now()
+	t.link.SendExtra(t.chunks[t.step], extra, t.label, t.stepDone)
+}
+
+func (t *collectiveTx) onStepDone() {
+	now := t.eng.Now()
+	if t.stepObs != nil {
+		t.stepObs.SendStep(0, 0, t.seq, t.step, len(t.chunks), t.chunks[t.step], t.stepAt, now)
+	}
+	t.step++
+	if t.step < len(t.chunks) {
+		t.playStep()
+		return
+	}
+	t.complete(now)
+}
+
+func (t *collectiveTx) complete(now float64) {
+	t.active = false
+	t.finish(t.completes, t.iter, now)
+}
+
+// Run simulates synchronous collective all-reduce training: backward
+// releases tensors in stepwise bursts; the scheduler assembles them into
+// blocks; each block costs one collective operation played as backend chunk
+// steps on the link; forward segment i waits for the operation covering
+// tensor i.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
+	}
+	be, err := drive.BackendByName(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if be.Name() == "ps" {
+		return nil, fmt.Errorf("allreduce: transport %q is the cluster package's path", be.Name())
 	}
 	eng := sim.New()
 	rng := sim.NewRand(cfg.Seed*1_000_003 + 17)
 	m := cfg.Model
 	n := m.NumGradients()
 
-	res := &Result{Batch: cfg.Batch}
+	res := &Result{Batch: cfg.Batch, Backend: be.Name()}
 	gpu := &metrics.IntervalSeries{}
 	res.GPU = gpu
+
+	link := netsim.NewLink(eng, cfg.Link)
+	var sched schedule.Scheduler
+	if cfg.Scheduler != nil {
+		sched = cfg.Scheduler(0, eng, link)
+	} else {
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = m.Grads[i].Bytes()
+		}
+		sched = NewFusion(sizes, cfg.FusionBytes)
+	}
+	res.SchedulerName = sched.Name()
+
+	obs := cfg.Observer
+	tx := &collectiveTx{eng: eng, link: link, be: be, workers: cfg.Workers}
+	tx.stepDone = tx.onStepDone
+	if so, ok := obs.(probe.StepObserver); ok {
+		tx.stepObs = so
+	}
+	drv := drive.New(sched, tx, 1, n, nil)
+	drv.SetRecording(cfg.RecordMessages)
+	drv.SetObserver(0, obs)
 
 	// releaseAt[i] lists tensors released when backward segment i ends.
 	releaseAt := make([][]int, n)
@@ -134,9 +276,6 @@ func Run(cfg Config) (*Result, error) {
 		releaseAt[grp[0]] = append([]int(nil), grp...)
 	}
 
-	ringBusy := false
-	var pending []int // released, un-reduced tensors (generation order)
-	var pendingB float64
 	reduced := make([]bool, n)
 	iterStart := 0.0
 	iter := 0
@@ -147,52 +286,40 @@ func Run(cfg Config) (*Result, error) {
 
 	var advanceForward func()
 	var advanceBackward func()
-	var pumpRing func()
+
+	tx.finish = func(completes []int, sentIter int, now float64) {
+		res.Reductions++
+		for _, g := range completes {
+			reduced[g] = true
+			if obs != nil {
+				// The reduced value is available on every worker the moment
+				// the collective completes: the ring path's PullAcked.
+				obs.PullAcked(0, g, sentIter, now)
+			}
+		}
+		drv.Completed(0, now)
+		advanceForward()
+		drv.Pump(now)
+	}
 
 	finishIteration := func() {
 		now := eng.Now()
 		res.Iters.Add(iterStart, now)
+		drv.EndIteration(now - iterStart)
+		if obs != nil {
+			obs.EndIteration(0, iter, now)
+		}
 		iterStart = now
 		iter++
 		if iter >= cfg.Iterations {
 			return
 		}
+		if obs != nil {
+			obs.BeginIteration(0, iter, now)
+		}
 		fwdSeg = 0
 		inBackward = false
 		advanceForward()
-	}
-
-	// fuse drains pending into one buffer respecting the fusion threshold.
-	fuse := func() (grads []int, bytes float64) {
-		for len(pending) > 0 {
-			g := pending[0]
-			gb := m.Grads[g].Bytes()
-			if len(grads) > 0 && bytes+gb > cfg.FusionBytes {
-				break
-			}
-			grads = append(grads, g)
-			bytes += gb
-			pending = pending[1:]
-			pendingB -= gb
-		}
-		return grads, bytes
-	}
-
-	pumpRing = func() {
-		if ringBusy || len(pending) == 0 {
-			return
-		}
-		grads, bytes := fuse()
-		ringBusy = true
-		eng.Schedule(stepTime(&cfg, bytes), func() {
-			ringBusy = false
-			res.Reductions++
-			for _, g := range grads {
-				reduced[g] = true
-			}
-			advanceForward()
-			pumpRing()
-		})
 	}
 
 	advanceBackward = func() {
@@ -208,12 +335,13 @@ func Run(cfg Config) (*Result, error) {
 			gpu.Stop(eng.Now())
 			computing = false
 			if rel := releaseAt[seg]; rel != nil {
-				// Release in generation order: highest index first.
+				now := eng.Now()
+				// Release in generation order: highest index first (the
+				// backward pass produces gradients back to front).
 				for i := len(rel) - 1; i >= 0; i-- {
-					pending = append(pending, rel[i])
-					pendingB += m.Grads[rel[i]].Bytes()
+					drv.Generate(rel[i], now)
 				}
-				pumpRing()
+				drv.Pump(now)
 			}
 			bwdSeg--
 			advanceBackward()
@@ -225,17 +353,21 @@ func Run(cfg Config) (*Result, error) {
 			return
 		}
 		if fwdSeg >= n {
-			// Forward done: reset reduction state and start backward.
+			// Forward done: reset reduction state and start backward. Every
+			// forward segment gated on its reduction, so the previous
+			// iteration's collectives have fully drained — the empty-queue
+			// precondition of Driver.BeginIteration.
 			inBackward = true
 			for i := range reduced {
 				reduced[i] = false
 			}
+			drv.BeginIteration(iter)
 			bwdSeg = n - 1
 			advanceBackward()
 			return
 		}
 		if iter > 0 && !reduced[fwdSeg] {
-			return // wait for the ring
+			return // wait for the collective
 		}
 		seg := fwdSeg
 		computing = true
@@ -249,11 +381,18 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	if obs != nil {
+		obs.BeginIteration(0, 0, 0)
+	}
 	advanceForward()
 	eng.Run()
 	if iter < cfg.Iterations {
-		return nil, fmt.Errorf("allreduce: stalled at iteration %d/%d (fwdSeg %d)", iter, cfg.Iterations, fwdSeg)
+		return nil, fmt.Errorf("allreduce: stalled at iteration %d/%d (fwdSeg %d, scheduler %s, backend %s)",
+			iter, cfg.Iterations, fwdSeg, res.SchedulerName, res.Backend)
 	}
 	res.Duration = eng.Now()
+	if cfg.RecordMessages {
+		res.Messages = append(res.Messages, drv.Records()...)
+	}
 	return res, nil
 }

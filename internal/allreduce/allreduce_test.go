@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"prophet/internal/drive"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 )
@@ -129,16 +130,26 @@ func TestRingScalesWithWorkers(t *testing.T) {
 }
 
 func TestStepTimeFormula(t *testing.T) {
+	// The ring backend's chunk schedule must reproduce the closed-form cost
+	// model: T(s) = 2(W−1) × (setup + (s/W + ramp)/B).
 	cfg := baseCfg()
 	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	be, err := drive.BackendByName("ring")
+	if err != nil {
 		t.Fatal(err)
 	}
 	w := float64(cfg.Workers)
 	b := cfg.Link.Trace.At(0)
 	bytes := 8e6
 	want := 2 * (w - 1) * (cfg.Link.SetupTime + (bytes/w+cfg.Link.RampBytes)/b)
-	if got := stepTime(&cfg, bytes); math.Abs(got-want) > 1e-12 {
-		t.Fatalf("stepTime = %v, want %v", got, want)
+	got := 0.0
+	for _, c := range be.ChunkBytes(bytes, cfg.Workers, nil) {
+		got += cfg.Link.SetupTime + (c+cfg.Link.RampBytes)/b
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("summed chunk steps = %v, want %v", got, want)
 	}
 }
 

@@ -1,0 +1,214 @@
+package allreduce
+
+// The drive-layer rewrite replaced this package's original hand-rolled
+// simulation loop. The reference implementation below is that legacy loop,
+// preserved verbatim in test code: TestDriveMatchesLegacy asserts the new
+// Run (Fusion scheduler + ring backend on the shared Driver) reproduces its
+// completion times within 1e-9 across the model zoo, pinning the refactor
+// as behavior-preserving — the equivalence the ISSUE requires before the
+// legacy loop's deletion.
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/sim"
+)
+
+// legacyStepTime is the legacy closed-form ring cost of one fused buffer.
+func legacyStepTime(cfg *Config, bytes float64) float64 {
+	w := float64(cfg.Workers)
+	b := cfg.Link.Trace.At(0)
+	perStep := cfg.Link.SetupTime + (bytes/w+cfg.Link.RampBytes)/b
+	return 2 * (w - 1) * perStep
+}
+
+// legacyRun is the pre-drive simulation loop, kept as the equivalence
+// oracle.
+func legacyRun(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	rng := sim.NewRand(cfg.Seed*1_000_003 + 17)
+	m := cfg.Model
+	n := m.NumGradients()
+
+	res := &Result{Batch: cfg.Batch}
+
+	releaseAt := make([][]int, n)
+	for _, grp := range cfg.Agg.Groups {
+		releaseAt[grp[0]] = append([]int(nil), grp...)
+	}
+
+	ringBusy := false
+	var pending []int
+	reduced := make([]bool, n)
+	iterStart := 0.0
+	iter := 0
+	fwdSeg := 0
+	bwdSeg := -1
+	computing := false
+	inBackward := false
+
+	var advanceForward func()
+	var advanceBackward func()
+	var pumpRing func()
+
+	finishIteration := func() {
+		now := eng.Now()
+		res.Iters.Add(iterStart, now)
+		iterStart = now
+		iter++
+		if iter >= cfg.Iterations {
+			return
+		}
+		fwdSeg = 0
+		inBackward = false
+		advanceForward()
+	}
+
+	fuse := func() (grads []int, bytes float64) {
+		for len(pending) > 0 {
+			g := pending[0]
+			gb := m.Grads[g].Bytes()
+			if len(grads) > 0 && bytes+gb > cfg.FusionBytes {
+				break
+			}
+			grads = append(grads, g)
+			bytes += gb
+			pending = pending[1:]
+		}
+		return grads, bytes
+	}
+
+	pumpRing = func() {
+		if ringBusy || len(pending) == 0 {
+			return
+		}
+		grads, bytes := fuse()
+		ringBusy = true
+		eng.Schedule(legacyStepTime(&cfg, bytes), func() {
+			ringBusy = false
+			res.Reductions++
+			for _, g := range grads {
+				reduced[g] = true
+			}
+			advanceForward()
+			pumpRing()
+		})
+	}
+
+	advanceBackward = func() {
+		if bwdSeg < 0 {
+			finishIteration()
+			return
+		}
+		seg := bwdSeg
+		computing = true
+		d := rng.Jitter(m.BwdTime(cfg.Hardware, m.Grads[seg], cfg.Batch), cfg.Jitter)
+		eng.Schedule(d, func() {
+			computing = false
+			if rel := releaseAt[seg]; rel != nil {
+				for i := len(rel) - 1; i >= 0; i-- {
+					pending = append(pending, rel[i])
+				}
+				pumpRing()
+			}
+			bwdSeg--
+			advanceBackward()
+		})
+	}
+
+	advanceForward = func() {
+		if inBackward || computing || iter >= cfg.Iterations {
+			return
+		}
+		if fwdSeg >= n {
+			inBackward = true
+			for i := range reduced {
+				reduced[i] = false
+			}
+			bwdSeg = n - 1
+			advanceBackward()
+			return
+		}
+		if iter > 0 && !reduced[fwdSeg] {
+			return
+		}
+		seg := fwdSeg
+		computing = true
+		d := rng.Jitter(m.FwdTime(cfg.Hardware, m.Grads[seg], cfg.Batch), cfg.Jitter)
+		eng.Schedule(d, func() {
+			computing = false
+			fwdSeg++
+			advanceForward()
+		})
+	}
+
+	advanceForward()
+	eng.Run()
+	if iter < cfg.Iterations {
+		return nil, nil
+	}
+	res.Duration = eng.Now()
+	return res, nil
+}
+
+func TestDriveMatchesLegacy(t *testing.T) {
+	zoo := []struct {
+		name string
+		m    *model.Model
+	}{
+		{"resnet18", model.ResNet18()},
+		{"resnet50", model.ResNet50()},
+		{"inception-v3", model.InceptionV3()},
+		{"vgg19", model.VGG19()},
+	}
+	for _, tc := range zoo {
+		for _, workers := range []int{2, 4} {
+			for _, fusion := range []float64{1, 64e6} {
+				cfg := Config{
+					Model:       model.WithWireFactor(tc.m, 2),
+					Batch:       32,
+					Workers:     workers,
+					Link:        netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(3))),
+					FusionBytes: fusion,
+					Iterations:  6,
+					Seed:        7,
+				}
+				want, err := legacyRun(cfg)
+				if err != nil {
+					t.Fatalf("%s w%d f%.0f: legacy: %v", tc.name, workers, fusion, err)
+				}
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s w%d f%.0f: drive: %v", tc.name, workers, fusion, err)
+				}
+				if got.Reductions != want.Reductions {
+					t.Errorf("%s w%d f%.0f: reductions %d, legacy %d",
+						tc.name, workers, fusion, got.Reductions, want.Reductions)
+				}
+				if math.Abs(got.Duration-want.Duration) > 1e-9 {
+					t.Errorf("%s w%d f%.0f: duration %v, legacy %v (Δ=%g)",
+						tc.name, workers, fusion, got.Duration, want.Duration,
+						got.Duration-want.Duration)
+				}
+				if got.Iters.Count() != want.Iters.Count() {
+					t.Fatalf("%s w%d f%.0f: iteration count %d vs %d",
+						tc.name, workers, fusion, got.Iters.Count(), want.Iters.Count())
+				}
+				for i := range want.Iters.Ends {
+					if math.Abs(got.Iters.Ends[i]-want.Iters.Ends[i]) > 1e-9 {
+						t.Errorf("%s w%d f%.0f: iter %d end %v, legacy %v (Δ=%g)",
+							tc.name, workers, fusion, i, got.Iters.Ends[i], want.Iters.Ends[i],
+							got.Iters.Ends[i]-want.Iters.Ends[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}

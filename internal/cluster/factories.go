@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"prophet/internal/core"
+	"prophet/internal/drive"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
 	"prophet/internal/schedule"
@@ -79,6 +80,84 @@ func linkMonitor(eng *sim.Engine, uplink *netsim.Link) (func() float64, func(bw 
 		return cfg.SetupTime + cfg.RampBytes/bw
 	}
 	return mon.Estimate, overhead
+}
+
+// ByNameTransport is ByName with a transport dimension: the factory it
+// returns wires Prophet's bandwidth/overhead model to the named
+// drive.Backend's wire shape instead of the PS link's. For the "ps"
+// transport it is exactly ByName; for collective backends ("ring",
+// "tree"), workers is the ring size the collective runs across. The
+// non-prophet strategies need no transport wiring — their decisions are
+// wire-model-free, which is precisely why they run unmodified on every
+// backend.
+func ByNameTransport(name, transport string, workers int, m *model.Model, opt Options) (SchedulerFactory, error) {
+	be, err := drive.BackendByName(transport)
+	if err != nil {
+		return nil, err
+	}
+	if be.Name() == "ps" {
+		return ByName(name, m, opt)
+	}
+	if workers <= 1 {
+		return nil, fmt.Errorf("cluster: transport %q needs workers > 1", be.Name())
+	}
+	canonical, _, err := strategy.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if canonical == "prophet" && opt.Profile == nil {
+		return nil, fmt.Errorf("cluster: strategy prophet needs Options.Profile")
+	}
+	sizes := gradSizes(m)
+	return func(w int, eng *sim.Engine, uplink *netsim.Link) schedule.Scheduler {
+		p := strategy.Params{
+			Sizes:     sizes,
+			Partition: opt.Partition,
+			Credit:    opt.Credit,
+			MinCredit: opt.MinCredit,
+			MaxCredit: opt.MaxCredit,
+			Seed:      opt.Seed,
+			Worker:    w,
+			Profile:   opt.Profile,
+		}
+		if canonical == "prophet" {
+			p.Bandwidth, p.Overhead = collectiveMonitor(eng, uplink, be, workers)
+		}
+		s, err := strategy.New(canonical, p)
+		if err != nil {
+			panic(err) // name and profile were validated above
+		}
+		return s
+	}, nil
+}
+
+// collectiveMonitor is linkMonitor reshaped for a collective backend:
+// Prophet plans in payload terms (a block of s bytes), but a collective
+// moves total = Σ ChunkBytes(1, W) wire bytes per payload byte (2(W−1)/W
+// for both ring and tree) and pays the link's setup/ramp once per chunk
+// step. The planner therefore sees the *effective payload bandwidth*
+// raw/total, and a per-block overhead of steps·setup + steps·ramp/raw —
+// so Algorithm 1's block sizing automatically grows blocks where the
+// 2(W−1) per-step overheads would murder small tensors.
+func collectiveMonitor(eng *sim.Engine, uplink *netsim.Link, be drive.Backend, workers int) (func() float64, func(bw float64) float64) {
+	cfg := uplink.Config()
+	total := 0.0
+	for _, c := range be.ChunkBytes(1, workers, nil) {
+		total += c
+	}
+	steps := float64(be.Steps(workers))
+	if total <= 0 {
+		return linkMonitor(eng, uplink)
+	}
+	mon := netsim.NewMonitor(eng, uplink, 0.3, cfg.Trace.At(0))
+	bandwidth := func() float64 { return mon.Estimate() / total }
+	overhead := func(bwEff float64) float64 {
+		if bwEff <= 0 {
+			return steps * cfg.SetupTime
+		}
+		return steps*cfg.SetupTime + steps*cfg.RampBytes/(bwEff*total)
+	}
+	return bandwidth, overhead
 }
 
 // mustByName is ByName for names and options already validated by the

@@ -125,6 +125,7 @@ func All() []Spec {
 		{"ext-shard", "extension", "Key-sharded multi-PS: FIFO/ByteScheduler/Prophet at 1/2/4 shards, both paths", func(c Config) (Result, error) { return ExtShard(c) }},
 		{"ext-strategies", "extension", "Every registry strategy (incl. TicTac) on one configuration", func(c Config) (Result, error) { return ExtStrategies(c) }},
 		{"ext-attrib", "extension", "Stall attribution: completion-time decomposition per strategy", func(c Config) (Result, error) { return ExtAttrib(c) }},
+		{"ext-transport", "extension", "Pluggable transports under the drive layer: PS vs ring vs tree, with attribution", func(c Config) (Result, error) { return ExtTransport(c) }},
 	}
 }
 

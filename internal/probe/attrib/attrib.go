@@ -25,6 +25,7 @@ package attrib
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"prophet/internal/probe"
@@ -144,6 +145,21 @@ func topBlocking(grads []Components, k int) []IterationTop {
 		out = append(out, IterationTop{Worker: key[0], Iter: key[1], Top: cs})
 	}
 	return out
+}
+
+// MaxResidual returns the largest |Sum() − Completion| across every
+// decomposed gradient: the additivity invariant. It must hold within 1e-9
+// on every transport — the PS path's push/pull spans and the collective
+// path's chunked operations alike — and the attribution tests assert it on
+// both.
+func (r *Report) MaxResidual() float64 {
+	worst := 0.0
+	for _, c := range r.PerGrad {
+		if d := math.Abs(c.Sum() - c.Completion); d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 // Mean averages the per-gradient components of one worker across

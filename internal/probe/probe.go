@@ -90,6 +90,18 @@ type Observer interface {
 	FaultInjected(worker int, kind string, now float64)
 }
 
+// StepObserver is an optional extension of Observer for collective
+// transports: one SendStart/SendComplete pair brackets a whole collective
+// operation (the lane is busy end to end), while SendStep reports each of
+// its chunk transfers — the ring's 2(W−1) per-step sends. Emitters
+// type-assert for it, so plain Observers are unaffected.
+type StepObserver interface {
+	// SendStep reports chunk step `step` of `steps` of the collective
+	// operation with fetch sequence seq moving `bytes` on (worker, lane)'s
+	// link over [start, end).
+	SendStep(worker, lane, seq, step, steps int, bytes float64, start, end float64)
+}
+
 // Multi fans events out to several observers. A nil entry is skipped, so
 // callers can compose optional sinks without branching.
 type Multi []Observer
@@ -174,5 +186,14 @@ func (m Multi) PullAcked(worker, grad, iter int, now float64) {
 func (m Multi) FaultInjected(worker int, kind string, now float64) {
 	for _, o := range m {
 		o.FaultInjected(worker, kind, now)
+	}
+}
+
+// SendStep implements StepObserver, forwarding to the entries that do.
+func (m Multi) SendStep(worker, lane, seq, step, steps int, bytes float64, start, end float64) {
+	for _, o := range m {
+		if so, ok := o.(StepObserver); ok {
+			so.SendStep(worker, lane, seq, step, steps, bytes, start, end)
+		}
 	}
 }

@@ -30,6 +30,15 @@ type GradTimes struct {
 	Lane int
 }
 
+// StepSpan is one chunk transfer inside a collective operation: step
+// `Step` of `Steps` of the operation with fetch sequence Seq (see
+// StepObserver).
+type StepSpan struct {
+	Worker, Lane, Seq, Step, Steps int
+	Bytes                          float64
+	Start, End                     float64
+}
+
 // FaultEvent records one fault-injector firing.
 type FaultEvent struct {
 	Worker int
@@ -70,6 +79,7 @@ type SpanRecorder struct {
 	inflight map[laneKey]*openSend
 
 	spans     []SendSpan
+	steps     []StepSpan
 	transfers metrics.TransferLog
 	grads     map[gradKey]*GradTimes
 
@@ -228,6 +238,16 @@ func (r *SpanRecorder) PullAcked(worker, grad, iter int, now float64) {
 	r.mu.Unlock()
 }
 
+// SendStep implements StepObserver.
+func (r *SpanRecorder) SendStep(worker, lane, seq, step, steps int, bytes float64, start, end float64) {
+	r.mu.Lock()
+	r.steps = append(r.steps, StepSpan{
+		Worker: worker, Lane: lane, Seq: seq, Step: step, Steps: steps,
+		Bytes: bytes, Start: start, End: end,
+	})
+	r.mu.Unlock()
+}
+
 // FaultInjected implements Observer.
 func (r *SpanRecorder) FaultInjected(worker int, kind string, now float64) {
 	r.mu.Lock()
@@ -263,6 +283,32 @@ func (r *SpanRecorder) Spans() []SendSpan {
 			return a.Start < b.Start
 		}
 		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Steps returns a copy of the recorded collective chunk steps, sorted by
+// (Worker, Lane, Start, Seq, Step).
+func (r *SpanRecorder) Steps() []StepSpan {
+	r.mu.Lock()
+	out := make([]StepSpan, len(r.steps))
+	copy(out, r.steps)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Step < b.Step
 	})
 	return out
 }
