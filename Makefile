@@ -15,7 +15,7 @@ FUZZTIME ?= 10s
 COVER_PKGS  := ./internal/drive ./internal/allreduce ./internal/strategy
 COVER_FLOOR ?= 80
 
-.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json fuzz trace-smoke conformance cover
+.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json bench-scale fuzz trace-smoke conformance cover
 
 check: tier1 lint race conformance cover trace-smoke
 
@@ -79,17 +79,24 @@ bench-json:
 	$(GO) test -bench='Core_Assemble|Cluster_Iteration|SchedulePingPong' -benchmem -count=1 -run '^$$' \
 		. ./internal/sim | $(GO) run ./cmd/bench2json > BENCH_sim.json
 
-# Live-path counterpart: frame I/O micro-benches, PS round trips, and the
-# whole-emulation BenchmarkEmu_Iteration. The committed BENCH_emu.json is
-# the reference the README quotes.
+# Live-path counterpart: frame I/O micro-benches, PS round trips, the
+# whole-emulation BenchmarkEmu_Iteration, and the mux scaling sweep
+# (BenchmarkEmu_Scale: goroutine/RSS columns at up to 1000 workers). The
+# committed BENCH_emu.json is the reference the README quotes.
 bench-emu-json:
-	$(GO) test -bench='FrameWrite|FrameWriter|FrameReader|DecodeFloatsInto|PS_PushPull|Emu_Iteration' \
+	$(GO) test -bench='FrameWrite|FrameWriter|FrameReader|DecodeFloatsInto|PS_PushPull|Emu_Iteration|Emu_Scale' \
 		-benchmem -count=1 -run '^$$' \
 		./internal/transport ./internal/ps ./internal/emu | $(GO) run ./cmd/bench2json > BENCH_emu.json
+
+# The scaling sweep alone, human-readable: worker counts 8→1000 over 1 and
+# 4 shards on the multiplexed transport, plus an unmuxed reference point.
+bench-scale:
+	$(GO) test -bench='Emu_Scale' -benchmem -benchtime=1x -count=1 -run '^$$' ./internal/emu
 
 # Short fixed-budget fuzzing smoke: each target gets $(FUZZTIME).
 fuzz:
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzReadFrameFaultStream$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeFloats$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzMuxReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ps -run '^$$' -fuzz '^FuzzServeConn$$' -fuzztime $(FUZZTIME)

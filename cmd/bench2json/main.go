@@ -24,6 +24,10 @@ type Bench struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Custom b.ReportMetric columns emitted by the scale sweep
+	// (BenchmarkEmu_Scale): peak live goroutines and VmHWM during the run.
+	Goroutines   int64 `json:"goroutines,omitempty"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 func main() {
@@ -90,6 +94,10 @@ func parse(sc *bufio.Scanner) ([]Bench, error) {
 				b.BytesPerOp = int64(v)
 			case "allocs/op":
 				b.AllocsPerOp = int64(v)
+			case "goroutines":
+				b.Goroutines = int64(v)
+			case "peak-rss-bytes":
+				b.PeakRSSBytes = int64(v)
 			}
 		}
 		out = append(out, b)

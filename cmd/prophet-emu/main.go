@@ -36,6 +36,7 @@ func main() {
 		seed      = flag.Uint64("seed", 21, "seed")
 		shards    = flag.Int("shards", 1, "parameter server shards (key-sharded multi-PS)")
 		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
+		mux       = flag.Bool("mux", false, "multiplex all workers onto one shared connection per shard (use for -workers ≥ 100)")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics as JSON on this address (e.g. 127.0.0.1:6060/metrics) and dump them after the run")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 		Seed:                 *seed,
 		Shards:               *shards,
 		ShardPlacement:       shard.Placement(*placement),
+		Mux:                  *mux,
 		Metrics:              m,
 	})
 	if err != nil {
@@ -81,8 +83,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("policy %s: %d workers, %d iterations, %.1f MB/s links, %d PS shard(s)\n",
-		*policy, *workers, *iters, *bandwidth/1e6, *shards)
+	transport := "dedicated conns"
+	if *mux {
+		transport = "muxed conns"
+	}
+	fmt.Printf("policy %s: %d workers, %d iterations, %.1f MB/s links, %d PS shard(s), %s\n",
+		*policy, *workers, *iters, *bandwidth/1e6, *shards, transport)
 	fmt.Printf("  loss %.4f → %.4f, accuracy %.1f%%\n",
 		res.Losses[0], res.Losses[len(res.Losses)-1], 100*res.FinalAccuracy)
 	var rtt float64

@@ -45,6 +45,7 @@ func main() {
 		iters     = flag.Int("iters", 6, "iterations")
 		seed      = flag.Uint64("seed", 1, "seed")
 		hidden    = flag.Int("hidden", 64, "hidden layer width (emu path)")
+		mux       = flag.Bool("mux", false, "emu path: share one multiplexed connection per shard across all workers")
 		topK      = flag.Int("topk", 3, "blocking gradients listed per iteration in the attribution report")
 		transport = flag.String("transport", "ps", "transport backend (sim path): "+strings.Join(drive.BackendNames(), "|"))
 		outJSON   = flag.String("out", "", "Chrome trace JSON output path")
@@ -83,6 +84,7 @@ func main() {
 		runEmu(emuConfig{
 			batch: *batch, workers: *workers, hidden: *hidden,
 			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
+			mux: *mux,
 		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -path %q: want sim or emu\n", *path)
@@ -106,6 +108,7 @@ type emuConfig struct {
 	policy                 string
 	iters                  int
 	seed                   uint64
+	mux                    bool
 }
 
 type outputs struct {
@@ -258,6 +261,7 @@ func runSimCollective(cfg simConfig, wire *model.Model, agg stepwise.Buckets, op
 // recorder: the same event stream both executors emit.
 func runEmu(cfg emuConfig, out outputs) {
 	rec := probe.NewSpanRecorder()
+	rec.SetIterationHint(cfg.iters)
 	// -bandwidth stays in Mbps for CLI symmetry with the sim path; the
 	// emulation's shaper wants bytes/sec.
 	res, err := emu.Run(emu.Config{
@@ -270,6 +274,7 @@ func runEmu(cfg emuConfig, out outputs) {
 		Policy:               cfg.policy,
 		BandwidthBytesPerSec: cfg.bandwidth * 1e6 / 8,
 		Seed:                 cfg.seed,
+		Mux:                  cfg.mux,
 		Observer:             rec,
 	})
 	if err != nil {

@@ -160,6 +160,7 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shar
 		downInflight: make([]*pullMsg, shards),
 		pullTags:     make([]string, n),
 	}
+	w.iterLog.Grow(cfg.Iterations)
 	w.fwdDoneFn = w.onFwdSegDone
 	w.bwdDoneFn = w.onBwdSegDone
 	w.upDoneFn = make([]func(), shards)

@@ -1,0 +1,32 @@
+package emu
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPushLabelsMatchSprintf(t *testing.T) {
+	labels := pushLabels(15)
+	for idx, got := range labels {
+		if want := fmt.Sprintf("push[t%d]", idx); got != want {
+			t.Fatalf("label %d: got %q want %q", idx, got, want)
+		}
+	}
+	if got := pushLabels(0); len(got) != 0 {
+		t.Fatalf("pushLabels(0) = %v", got)
+	}
+}
+
+// TestPushLabelsAllocBound pins the cold-start satellite: rendering a
+// worker's label table costs exactly the retained memory — one string per
+// label, the table itself, and the scratch buffer — with no fmt machinery.
+// At 1000 workers the table is built per worker, so the bound is per-run.
+func TestPushLabelsAllocBound(t *testing.T) {
+	const n = 64
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = pushLabels(n)
+	})
+	if allocs > n+2 {
+		t.Fatalf("pushLabels(%d) allocates %.1f times per run, want ≤ %d", n, allocs, n+2)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,6 +116,18 @@ type Config struct {
 	// ShardPlacement selects the key→shard map (default round-robin).
 	ShardPlacement shard.Placement
 
+	// Mux multiplexes every in-process worker onto ONE shared connection
+	// per shard (internal/transport tagged frames, one logical stream per
+	// worker) instead of a dedicated socket per worker×shard pair. The
+	// per-connection goroutine cost becomes per-shard instead of
+	// per-worker×shard, which is what makes Workers ≥ 1000 practical on a
+	// single host. Scheduling decisions are unaffected — they replay
+	// before any byte moves — so decision logs and training trajectories
+	// are bit-identical to the unmuxed path. Mux is incompatible with
+	// Faults: injectors wrap a single worker's private connection, which
+	// does not exist when workers share one.
+	Mux bool
+
 	// Faults maps a worker id to a fault injection spec applied to that
 	// worker's client-side connection (see internal/fault).
 	Faults map[int]fault.Spec
@@ -185,6 +198,9 @@ func (c *Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("emu: negative shard count %d", c.Shards)
+	}
+	if c.Mux && len(c.Faults) > 0 {
+		return fmt.Errorf("emu: fault injection needs per-worker connections; Mux shares one per shard")
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
@@ -259,33 +275,60 @@ func Run(cfg Config) (*Result, error) {
 	servers := make([]*ps.Server, shards)
 	serverConns := make([][]net.Conn, shards)
 	clients := make([]*ps.ShardedClient, cfg.Workers)
-	perWorker := make([][]*ps.Client, cfg.Workers)
-	var rawConns []net.Conn
+	rawConns := make([]net.Conn, 0, cfg.Workers*shards)
 	for s := 0; s < shards; s++ {
 		servers[s] = ps.NewServer(cfg.Workers)
 		servers[s].SetMetrics(cfg.Metrics)
-		serverConns[s] = make([]net.Conn, cfg.Workers)
 	}
-	for w := 0; w < cfg.Workers; w++ {
-		perWorker[w] = make([]*ps.Client, shards)
+	var groups []*ps.MuxGroup
+	if cfg.Mux {
+		// One shared connection per shard; every worker is a logical
+		// stream on it. The shared link carries the configured bandwidth,
+		// so per-shard ingest matches the unmuxed aggregate.
+		groups = make([]*ps.MuxGroup, shards)
 		for s := 0; s < shards; s++ {
 			a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
-			// Meter inside the fault wrap, so only bytes that actually
-			// reach the wire are counted.
 			a = transport.Meter(a, cfg.Metrics, "transport_worker")
-			if spec, ok := cfg.Faults[w]; ok {
-				var onFault func(string)
-				if obs := cfg.Observer; obs != nil {
-					w := w
-					onFault = func(kind string) { obs.FaultInjected(w, kind, clock()) }
-				}
-				a = spec.WrapObserved(a, onFault)
-			}
 			rawConns = append(rawConns, a)
-			perWorker[w][s] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout, Metrics: cfg.Metrics})
-			serverConns[s][w] = b
+			groups[s] = ps.NewMuxGroup(a, cfg.Workers, ps.MuxGroupOptions{
+				PullTimeout: pullTimeout,
+				Metrics:     cfg.Metrics,
+			})
+			serverConns[s] = []net.Conn{b}
 		}
-		clients[w] = ps.NewShardedClient(perWorker[w], smap.Of)
+		for w := 0; w < cfg.Workers; w++ {
+			links := make([]ps.WorkerLink, shards)
+			for s := range links {
+				links[s] = groups[s].Worker(w)
+			}
+			clients[w] = ps.NewShardedLinks(links, smap.Of)
+		}
+	} else {
+		perWorker := make([][]*ps.Client, cfg.Workers)
+		for s := 0; s < shards; s++ {
+			serverConns[s] = make([]net.Conn, cfg.Workers)
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			perWorker[w] = make([]*ps.Client, shards)
+			for s := 0; s < shards; s++ {
+				a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
+				// Meter inside the fault wrap, so only bytes that actually
+				// reach the wire are counted.
+				a = transport.Meter(a, cfg.Metrics, "transport_worker")
+				if spec, ok := cfg.Faults[w]; ok {
+					var onFault func(string)
+					if obs := cfg.Observer; obs != nil {
+						w := w
+						onFault = func(kind string) { obs.FaultInjected(w, kind, clock()) }
+					}
+					a = spec.WrapObserved(a, onFault)
+				}
+				rawConns = append(rawConns, a)
+				perWorker[w][s] = ps.NewClientWithOptions(a, ps.Options{PullTimeout: pullTimeout, Metrics: cfg.Metrics})
+				serverConns[s][w] = b
+			}
+			clients[w] = ps.NewShardedClient(perWorker[w], smap.Of)
+		}
 	}
 
 	// abort unblocks every goroutine by closing all connections; fatal
@@ -352,8 +395,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	serveDone := make(chan error, shards)
-	for s := 0; s < shards; s++ {
-		go func(s int) { serveDone <- servers[s].Serve(serverConns[s]) }(s)
+	if cfg.Mux {
+		// A single demux goroutine (this one) plus the server's bounded
+		// responder handle all workers of a shard.
+		muxIDs := make([]int, cfg.Workers)
+		for w := range muxIDs {
+			muxIDs[w] = w
+		}
+		for s := 0; s < shards; s++ {
+			go func(s int) { serveDone <- servers[s].ServeMux(serverConns[s][0], muxIDs) }(s)
+		}
+	} else {
+		for s := 0; s < shards; s++ {
+			go func(s int) { serveDone <- servers[s].Serve(serverConns[s]) }(s)
+		}
 	}
 
 	res := &Result{}
@@ -372,6 +427,12 @@ func Run(cfg Config) (*Result, error) {
 
 	for _, c := range clients {
 		c.Close()
+	}
+	// Mux groups own the shared client-side conns: closing them is what
+	// delivers the clean EOF that lets ServeMux return (a MuxWorker's own
+	// Close is worker-local by design).
+	for _, g := range groups {
+		g.Close()
 	}
 	for _, cs := range serverConns {
 		for _, c := range cs {
@@ -466,10 +527,12 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 	obs := cfg.Observer
 	var labels []string
 	if obs != nil {
-		labels = make([]string, nTensors)
-		for idx := range labels {
-			labels[idx] = fmt.Sprintf("push[t%d]", idx)
-		}
+		labels = pushLabels(nTensors)
+	}
+	if w == 0 {
+		res.Losses = make([]float64, 0, cfg.Iterations)
+		res.IterationTime = make([]time.Duration, 0, cfg.Iterations)
+		res.Tensor0RoundTrip = make([]time.Duration, 0, cfg.Iterations)
 	}
 
 	params := strategy.Params{
@@ -505,6 +568,13 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 	}
 	var records []drive.Record
 
+	// Per-iteration scratch, allocated once: every tensor slot is
+	// rewritten each iteration (decide errors out unless the scheduler
+	// completed all of them), and the events slice is truncated per pass.
+	chans := make([]<-chan ps.PullResult, nTensors)
+	events := make([]genEvent, 0, nTensors)
+	pp := pushParams{worker: w, sizes: sizes, labels: labels, obs: obs, clock: clock, inline: cfg.Mux}
+
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		iterStart := time.Now()
 		if obs != nil {
@@ -515,7 +585,7 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 
 		logits := m.Forward(x)
 		// Collect tensors in emission order with generation timestamps.
-		var events []genEvent
+		events = events[:0]
 		bwdStart := time.Now()
 		m.Backward(logits, batchLabels, func(idx int) {
 			events = append(events, genEvent{idx, time.Since(bwdStart)})
@@ -543,8 +613,6 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 		// scheduler completes it, so responses pipeline with later pushes;
 		// a tensor completed early (priority strategies put tensor 0
 		// first) finishes its round trip early.
-		chans := make([]<-chan ps.PullResult, nTensors)
-		pp := pushParams{worker: w, sizes: sizes, labels: labels, obs: obs, clock: clock}
 		if err := pushSends(client, iter, m, sends, chans, pp); err != nil {
 			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
 		}
@@ -707,6 +775,9 @@ func pushOrderOf(sends []wireSend, nTensors int) []int {
 // time (FIFO, credit slices) degenerate to one push+pull-request pair per
 // flush; Prophet blocks ship all their tensors in a single write.
 func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult, pp pushParams) error {
+	if pp.inline {
+		return pushSendsInline(client, iter, m, sends, chans, pp)
+	}
 	shards := client.Shards()
 	jobs := make([]chan pushJob, shards)
 	errs := make([]error, shards)
@@ -776,6 +847,45 @@ func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, 
 	return errors.Join(errs...)
 }
 
+// pushSendsInline is pushSends for the mux transport: the shared per-shard
+// connection serializes writes anyway, so per-shard writer goroutines buy
+// nothing — the worker dispatches each send itself, in decision order. The
+// cross-shard priority gate holds trivially (send k's batch returns before
+// send k+1 is offered), and the probe event stream keeps the exact shape
+// of the goroutine path: ShardEnqueued per tensor, one SendStart span per
+// flushed batch, SendComplete on return.
+func pushSendsInline(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult, pp pushParams) error {
+	grad := func(t int) []float64 { return m.GradData(t) }
+	deliver := func(t int, ch <-chan ps.PullResult) { chans[t] = ch }
+	var ranges []probe.Range // reused scratch; observers copy
+	for seq, snd := range sends {
+		if len(snd.tensors) == 0 {
+			continue
+		}
+		s := snd.lane
+		if pp.obs != nil {
+			ranges = ranges[:0]
+			var total float64
+			for i, idx := range snd.tensors {
+				// Inline dispatch never queues: depth is just the position
+				// within this send's own batch.
+				pp.obs.ShardEnqueued(pp.worker, s, seq, idx, pp.sizes[idx], i+1, pp.clock())
+				ranges = append(ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
+				total += pp.sizes[idx]
+			}
+			first := snd.tensors[0]
+			pp.obs.SendStart(pp.worker, s, seq, iter, first, pp.labels[first], total, ranges, pp.clock())
+		}
+		if err := client.Shard(s).PushPullBatch(iter, snd.tensors, grad, deliver); err != nil {
+			return fmt.Errorf("push batch %v (shard %d): %w", snd.tensors, s, err)
+		}
+		if pp.obs != nil {
+			pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
+		}
+	}
+	return nil
+}
+
 // pushJob is one send's tensor group handed to a shard writer, flushed as
 // a single batched write, plus the scheduler message sequence it belongs
 // to.
@@ -786,13 +896,29 @@ type pushJob struct {
 
 // pushParams carries the probe context of one worker's pushSends call.
 // obs is nil in unobserved runs, and the other fields are only read when
-// it is not.
+// it is not. inline selects the mux dispatch path (no writer goroutines).
 type pushParams struct {
 	worker int
 	sizes  []float64
 	labels []string
 	obs    probe.Observer
 	clock  func() float64
+	inline bool
+}
+
+// pushLabels renders the per-tensor span labels ("push[t7]") without fmt:
+// the table is built once per worker, and at 1000+ workers Sprintf's
+// reflection path was a measurable slice of construction time.
+func pushLabels(n int) []string {
+	labels := make([]string, n)
+	buf := make([]byte, 0, 16)
+	for idx := range labels {
+		buf = append(buf[:0], "push[t"...)
+		buf = strconv.AppendInt(buf, int64(idx), 10)
+		buf = append(buf, ']')
+		labels[idx] = string(buf)
+	}
+	return labels
 }
 
 // tensorSizes returns the model's per-tensor byte sizes (float64 elements),

@@ -104,7 +104,7 @@ func TestMirrorBothPathsSameDecisions(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			emuRes, err := emu.Run(emu.Config{
+			emuCfg := emu.Config{
 				Workers:              1,
 				Layers:               layers,
 				Dataset:              nn.Blobs(256, 8, 4, 11),
@@ -115,12 +115,24 @@ func TestMirrorBothPathsSameDecisions(t *testing.T) {
 				Profile:              prof,
 				BandwidthBytesPerSec: 1e9,
 				Seed:                 seed,
-			})
+			}
+			emuRes, err := emu.Run(emuCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 
 			compareRecords(t, simRes.Messages, emuRes.Messages)
+
+			// The multiplexed transport sits below the decision layer, so
+			// the three-way mirror must close: simulator, per-worker
+			// sockets, and shared mux streams all emit one decision log.
+			muxCfg := emuCfg
+			muxCfg.Mux = true
+			muxRes, err := emu.Run(muxCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareRecords(t, simRes.Messages, muxRes.Messages)
 		})
 	}
 }

@@ -1,0 +1,106 @@
+package emu
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"prophet/internal/core"
+	"prophet/internal/fault"
+	"prophet/internal/strategy"
+)
+
+// muxConformanceConfig pins everything that could make two runs diverge
+// for reasons other than the transport: an explicit Prophet profile (no
+// wall-clock profiling iteration) and an iteration count inside the credit
+// auto-tuner's deterministic window (see mirror_test.go for the full
+// derivation of both bounds).
+func muxConformanceConfig(t *testing.T, policy string) Config {
+	t.Helper()
+	cfg := baseConfig()
+	cfg.Workers = 3
+	cfg.Shards = 2
+	cfg.Iterations = 4
+	cfg.Policy = policy
+	sizes := tensorSizes(cfg.Layers, cfg.Seed)
+	gen := make([]float64, len(sizes))
+	for i := range gen {
+		gen[i] = float64(len(sizes) - i)
+	}
+	prof, err := core.NewProfile(gen, sizes, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Profile = prof
+	return cfg
+}
+
+// TestMuxConformance is the transport-equivalence table: every registry
+// strategy, run once over dedicated per-worker connections and once over
+// the shared multiplexed connections, must produce the bit-identical
+// scheduler decision log, push order, and training trajectory. The mux is
+// a wire-level change below the decision layer; any divergence here means
+// stream interleaving leaked into scheduling.
+func TestMuxConformance(t *testing.T) {
+	for _, name := range strategy.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base, err := Run(muxConformanceConfig(t, name))
+			if err != nil {
+				t.Fatalf("unmuxed: %v", err)
+			}
+			cfg := muxConformanceConfig(t, name)
+			cfg.Mux = true
+			muxed, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("muxed: %v", err)
+			}
+			if !reflect.DeepEqual(base.Messages, muxed.Messages) {
+				t.Fatalf("decision logs diverged across transports:\nunmuxed: %v\nmuxed:   %v",
+					base.Messages, muxed.Messages)
+			}
+			if !reflect.DeepEqual(base.PushOrder, muxed.PushOrder) {
+				t.Fatalf("push order diverged: unmuxed %v, muxed %v", base.PushOrder, muxed.PushOrder)
+			}
+			if !reflect.DeepEqual(base.FinalParams, muxed.FinalParams) {
+				t.Fatal("final parameters diverged across transports")
+			}
+			if !reflect.DeepEqual(base.Losses, muxed.Losses) {
+				t.Fatalf("loss curves diverged: unmuxed %v, muxed %v", base.Losses, muxed.Losses)
+			}
+		})
+	}
+}
+
+// TestMuxManyWorkers smokes the scale path the mux exists for: far more
+// workers than would be sane with dedicated sockets, across shards, in a
+// regular test run.
+func TestMuxManyWorkers(t *testing.T) {
+	workers := 200
+	if testing.Short() {
+		workers = 50
+	}
+	cfg := baseConfig()
+	cfg.Workers = workers
+	cfg.Shards = 4
+	cfg.Iterations = 2
+	cfg.Batch = 1
+	cfg.Mux = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != cfg.Iterations {
+		t.Fatalf("recorded %d losses, want %d", len(res.Losses), cfg.Iterations)
+	}
+}
+
+func TestMuxRejectsFaults(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Mux = true
+	cfg.Faults = map[int]fault.Spec{0: fault.DropAt(64)}
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "fault injection") {
+		t.Fatalf("Mux+Faults accepted (err %v), want rejection", err)
+	}
+}

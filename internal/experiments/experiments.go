@@ -126,6 +126,7 @@ func All() []Spec {
 		{"ext-strategies", "extension", "Every registry strategy (incl. TicTac) on one configuration", func(c Config) (Result, error) { return ExtStrategies(c) }},
 		{"ext-attrib", "extension", "Stall attribution: completion-time decomposition per strategy", func(c Config) (Result, error) { return ExtAttrib(c) }},
 		{"ext-transport", "extension", "Pluggable transports under the drive layer: PS vs ring vs tree, with attribution", func(c Config) (Result, error) { return ExtTransport(c) }},
+		{"ext-scale", "extension", "Shared-connection mux: decision/trajectory equivalence plus a worker-count sweep", func(c Config) (Result, error) { return ExtScale(c) }},
 	}
 }
 

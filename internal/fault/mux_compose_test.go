@@ -1,0 +1,79 @@
+package fault
+
+// The injectors key on absolute byte offsets in the write stream, and the
+// multiplexed transport's tagged frames (stream id + frame header) are
+// still just a deterministic byte stream — so a fault schedule must hit
+// the mux stream at exactly the same offsets as any other writer. These
+// tests pin that composition byte for byte.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+
+	"prophet/internal/transport"
+)
+
+// muxStream emits a fixed interleaved sequence of tagged frames: a single
+// send on stream 1, a bare pull request on stream 0, and a batched
+// push+pull flush on stream 2.
+func muxStream(c net.Conn) error {
+	mc := transport.NewMuxConn(c, transport.MuxOptions{Streams: 3})
+	if err := mc.SendFloats(1, transport.Push, 2, 0, []float64{1, 2, 3}); err != nil {
+		return err
+	}
+	if err := mc.SendFrame(0, &transport.Frame{Type: transport.PullReq, Iter: 2}); err != nil {
+		return err
+	}
+	b := mc.NewBatch(2)
+	if err := b.AppendFloats(transport.Push, 2, 1, []float64{4}); err != nil {
+		return err
+	}
+	if err := b.AppendFrame(&transport.Frame{Type: transport.PullReq, Iter: 2, Tensor: 1}); err != nil {
+		return err
+	}
+	return mc.SendBatch(b)
+}
+
+func TestFaultsComposeWithMuxFrames(t *testing.T) {
+	clean, err := deliver(t, Spec{}, muxStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 41 bytes for the stream-1 send (17-byte tagged header + 24 payload),
+	// 17 for the bare pull request, 42 for the batch.
+	if len(clean) != 100 {
+		t.Fatalf("clean mux stream is %d bytes, want 100", len(clean))
+	}
+
+	// Corruption flips exactly the configured offset — here a payload byte
+	// of the first tagged frame — and nothing else.
+	const off = 20
+	corrupted, err := deliver(t, CorruptAt(off), muxStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupted) != len(clean) {
+		t.Fatalf("corruption changed stream length: %d vs %d", len(corrupted), len(clean))
+	}
+	for i := range clean {
+		switch {
+		case i == off && corrupted[i] != clean[i]^0xFF:
+			t.Fatalf("byte %d: got %#x, want %#x flipped", i, corrupted[i], clean[i])
+		case i != off && corrupted[i] != clean[i]:
+			t.Fatalf("corruption leaked to byte %d", i)
+		}
+	}
+
+	// A drop mid-batch delivers exactly the configured prefix of the
+	// tagged stream — the batch write is split, not atomically dropped.
+	const cut = 75
+	dropped, werr := deliver(t, DropAt(cut), muxStream)
+	if !errors.Is(werr, ErrInjectedDrop) {
+		t.Fatalf("expected injected drop, got %v", werr)
+	}
+	if !bytes.Equal(dropped, clean[:cut]) {
+		t.Fatalf("drop delivered %d bytes (%x), want the clean %d-byte prefix", len(dropped), dropped, cut)
+	}
+}

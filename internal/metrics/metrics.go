@@ -243,6 +243,21 @@ type IterationLog struct {
 	Starts, Ends []float64
 }
 
+// Grow pre-allocates capacity for n further iterations, so a run whose
+// length is known up front (Config.Iterations on either execution path)
+// records without reallocating the sample slices.
+func (l *IterationLog) Grow(n int) {
+	if n <= 0 || cap(l.Starts)-len(l.Starts) >= n {
+		return
+	}
+	starts := make([]float64, len(l.Starts), len(l.Starts)+n)
+	copy(starts, l.Starts)
+	l.Starts = starts
+	ends := make([]float64, len(l.Ends), len(l.Ends)+n)
+	copy(ends, l.Ends)
+	l.Ends = ends
+}
+
 // Add records one iteration.
 func (l *IterationLog) Add(start, end float64) {
 	if end < start {

@@ -271,3 +271,38 @@ func TestPropertyRateSeriesAdditive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIterationLogGrowPreservesAndPresizes(t *testing.T) {
+	var l IterationLog
+	l.Add(0, 1)
+	l.Grow(10)
+	if l.Count() != 1 || l.Starts[0] != 0 || l.Ends[0] != 1 {
+		t.Fatalf("Grow mangled contents: %+v", l)
+	}
+	if cap(l.Starts) < 11 || cap(l.Ends) < 11 {
+		t.Fatalf("Grow(10) left capacity %d/%d", cap(l.Starts), cap(l.Ends))
+	}
+	l.Grow(0)
+	l.Grow(-5) // no-ops
+	if l.Count() != 1 {
+		t.Fatalf("no-op Grow changed count to %d", l.Count())
+	}
+}
+
+// A grown log records its full run without touching the allocator — the
+// property the live path's per-worker logs rely on at 1000-worker scale.
+func TestIterationLogGrowNoAllocAppends(t *testing.T) {
+	const iters = 100
+	l := &IterationLog{}
+	l.Grow(iters)
+	allocs := testing.AllocsPerRun(10, func() {
+		l.Starts = l.Starts[:0]
+		l.Ends = l.Ends[:0]
+		for i := 0; i < iters; i++ {
+			l.Add(float64(i), float64(i)+0.5)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("grown IterationLog allocated %.1f times per run, want 0", allocs)
+	}
+}

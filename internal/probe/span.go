@@ -86,6 +86,8 @@ type SpanRecorder struct {
 	faults []FaultEvent
 	gated  map[int]int64
 	rFree  [][]Range
+
+	iterHint int
 }
 
 // NewSpanRecorder returns an empty recorder.
@@ -132,9 +134,20 @@ func (r *SpanRecorder) EndIteration(worker, iter int, now float64) {
 	log, ok := r.iters[worker]
 	if !ok {
 		log = &metrics.IterationLog{}
+		log.Grow(r.iterHint)
 		r.iters[worker] = log
 	}
 	log.Add(start, now)
+	r.mu.Unlock()
+}
+
+// SetIterationHint tells the recorder how many iterations each worker will
+// run, so per-worker iteration logs allocate once instead of growing
+// append-by-append — at 1000-worker scale the doubling garbage is real.
+// Zero (the default) keeps plain append growth.
+func (r *SpanRecorder) SetIterationHint(n int) {
+	r.mu.Lock()
+	r.iterHint = n
 	r.mu.Unlock()
 }
 

@@ -1,0 +1,149 @@
+package ps
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"prophet/internal/transport"
+)
+
+// TestCloseDuringInflightPullFailsWaiter pins the Close/readLoop shutdown
+// ordering: a Close racing an in-flight pull must deterministically fail
+// the waiter — never strand it, never let it observe a half-closed client.
+func TestCloseDuringInflightPullFailsWaiter(t *testing.T) {
+	rounds := 200
+	if testing.Short() {
+		rounds = 20
+	}
+	for i := 0; i < rounds; i++ {
+		a, b := transport.Pipe(0, 0)
+		// Server half: drain frames, never respond — the pull stays in
+		// flight until the close resolves it.
+		go func() {
+			fr := transport.NewFrameReader(b, payloads)
+			for {
+				f, err := fr.Read()
+				if err != nil {
+					return
+				}
+				fr.Recycle(f)
+			}
+		}()
+		c := NewClient(a)
+
+		type pulled struct {
+			ch  <-chan PullResult
+			err error
+		}
+		started := make(chan pulled, 1)
+		go func() {
+			ch, err := c.PullAsync(0, 0)
+			started <- pulled{ch, err}
+		}()
+		go c.Close()
+
+		p := <-started
+		if p.err != nil {
+			// Close won the race outright: the pull must have failed with
+			// a closed-or-lost error, not something else.
+			if !errors.Is(p.err, net.ErrClosed) && !errors.Is(p.err, ErrConnLost) {
+				t.Fatalf("round %d: pull rejected with %v", i, p.err)
+			}
+			b.Close()
+			continue
+		}
+		select {
+		case r := <-p.ch:
+			if r.Err == nil {
+				t.Fatalf("round %d: in-flight pull resolved without error across Close", i)
+			}
+			if !errors.Is(r.Err, ErrConnLost) {
+				t.Fatalf("round %d: in-flight pull failed with %v, want ErrConnLost", i, r.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: in-flight pull stranded by Close", i)
+		}
+		b.Close()
+	}
+}
+
+// TestCloseRacingReconnect hammers the Close vs Redial window: a client
+// whose pull is mid-reconnect when Close lands must not leak the freshly
+// dialed connection's readLoop.
+func TestCloseRacingReconnect(t *testing.T) {
+	rounds := 100
+	if testing.Short() {
+		rounds = 10
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < rounds; i++ {
+		a, b := transport.Pipe(0, 0)
+		var mu sync.Mutex
+		var serverSides []net.Conn
+		serverSides = append(serverSides, b)
+		drain := func(conn net.Conn) {
+			go func() {
+				fr := transport.NewFrameReader(conn, payloads)
+				for {
+					f, err := fr.Read()
+					if err != nil {
+						return
+					}
+					fr.Recycle(f)
+				}
+			}()
+		}
+		drain(b)
+		c := NewClientWithOptions(a, Options{
+			PullTimeout: 2 * time.Second,
+			MaxRetries:  5,
+			Backoff:     time.Microsecond,
+			Redial: func() (net.Conn, error) {
+				na, nb := transport.Pipe(0, 0)
+				mu.Lock()
+				serverSides = append(serverSides, nb)
+				mu.Unlock()
+				drain(nb)
+				return na, nil
+			},
+		})
+
+		pullDone := make(chan struct{})
+		go func() {
+			defer close(pullDone)
+			c.Pull(0, 0) // fails by timeout, conn loss, or close — any is fine
+		}()
+		// Break the first conn so the pull goes down the reconnect path,
+		// then close the client while the redial may be in flight.
+		b.Close()
+		time.Sleep(time.Duration(i%3) * 50 * time.Microsecond)
+		c.Close()
+		<-pullDone
+
+		// A second Close is a no-op, and late redial conns must be closed.
+		if err := c.Close(); err != nil {
+			t.Fatalf("round %d: second close: %v", i, err)
+		}
+		mu.Lock()
+		for _, sc := range serverSides {
+			sc.Close()
+		}
+		mu.Unlock()
+	}
+	// Every readLoop (original and redialed) must have exited: no leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across Close/reconnect races: %d > baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,504 @@
+package ps
+
+// Multiplexed transport for the parameter server: N logical workers share
+// ONE physical connection in each direction instead of owning a socket and
+// two goroutines apiece.
+//
+// Server side, ServeMux runs the demux loop on the caller's goroutine and
+// one responder goroutine that owns all writes (pull responses and credit
+// grants) — two goroutines per physical connection regardless of how many
+// workers it carries. Client side, a MuxGroup owns one demux goroutine and
+// the transport's credit granter, and hands out per-worker MuxWorker
+// handles that implement the same WorkerLink surface as *Client.
+//
+// Frames are tagged with a stream id equal to the worker's position in the
+// ServeMux ids slice (the MuxGroup uses worker id == stream id directly),
+// and per-stream flow-control credit keeps one worker's burst from running
+// unboundedly ahead of the demux loop. Pooled payloads survive end-to-end:
+// the demux borrows from the shared payload pool, handlers decode into the
+// float pool, and MuxConn.Done returns the wire bytes.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"prophet/internal/probe"
+	"prophet/internal/transport"
+)
+
+// respSink routes a worker's pull responses to the goroutine that owns its
+// connection's writes (a mux responder), instead of a per-response
+// goroutine.
+type respSink interface {
+	enqueueResp(w int, k slotKey)
+}
+
+// ServeMux serves the given logical workers from one multiplexed
+// connection: frames on stream i belong to worker ids[i]. It blocks until
+// the connection closes, running the demux loop itself plus exactly one
+// responder goroutine, and returns the joined mid-stream failures of the
+// workers it carried (dropped workers' failures are suppressed, like
+// Serve).
+func (s *Server) ServeMux(conn net.Conn, ids []int) error {
+	if len(ids) == 0 {
+		return errors.New("ps: ServeMux with no workers")
+	}
+	for _, w := range ids {
+		if w < 0 || w >= s.workers {
+			return fmt.Errorf("ps: no worker %d", w)
+		}
+	}
+	mc := transport.NewMuxConn(conn, transport.MuxOptions{Streams: len(ids), Pool: payloads})
+	r := &muxResponder{
+		s:      s,
+		mc:     mc,
+		ids:    ids,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	for _, w := range ids {
+		s.sinks[w] = r
+	}
+	s.mu.Unlock()
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		r.loop()
+	}()
+
+	// Demux loop: the only reader of mc. Handlers aggregate inline; their
+	// responses go through the responder, so this loop never writes.
+	var (
+		failWorker = -1 // worker whose frame produced a handler error
+		connErr    error
+	)
+	for {
+		stream, f, err := mc.Read()
+		if err != nil {
+			if !isCleanClose(err) {
+				connErr = fmt.Errorf("read frame: %w", err)
+			}
+			break
+		}
+		w := ids[stream]
+		if s.IsDropped(w) {
+			mc.Done(stream, f)
+			continue
+		}
+		var herr error
+		switch f.Type {
+		case transport.Push:
+			herr = s.handlePush(w, f)
+		case transport.PullReq:
+			herr = s.handlePull(w, f)
+		default:
+			herr = fmt.Errorf("unexpected frame type %v", f.Type)
+		}
+		mc.Done(stream, f)
+		if herr != nil {
+			failWorker, connErr = w, herr
+			break
+		}
+	}
+
+	// Teardown: close the conn first — the responder may be parked inside a
+	// credit reservation and only a close wakes it — then wait for it and
+	// unhook the sinks.
+	close(r.stop)
+	mc.Close()
+	rwg.Wait()
+	s.mu.Lock()
+	for _, w := range ids {
+		if s.sinks[w] == r {
+			s.sinks[w] = nil
+		}
+	}
+	s.mu.Unlock()
+
+	if connErr != nil {
+		if failWorker >= 0 {
+			// A protocol violation by one worker tears down the shared
+			// connection; only the offender is attributed.
+			s.workerFailed(failWorker, connErr)
+		} else {
+			for _, w := range ids {
+				s.workerFailed(w, connErr)
+			}
+		}
+	}
+	return s.collectErrorsFor(ids)
+}
+
+// collectErrorsFor joins the failures of the given workers, skipping
+// dropped ones — ServeMux's per-connection slice of collectErrors.
+func (s *Server) collectErrorsFor(ids []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for _, w := range ids {
+		if err := s.workerErrs[w]; err != nil && !s.dead[w] {
+			errs = append(errs, &WorkerError{Worker: w, Err: err})
+		}
+	}
+	return errors.Join(errs...)
+}
+
+type respJob struct {
+	w int
+	k slotKey
+}
+
+// muxResponder is the single writer goroutine of a ServeMux connection: it
+// flushes credit grants accumulated by the demux loop and writes queued
+// pull responses, keeping the server at two goroutines per physical conn.
+type muxResponder struct {
+	s   *Server
+	mc  *transport.MuxConn
+	ids []int
+
+	mu    sync.Mutex
+	queue []respJob
+	spare []respJob // swap buffer: drained queues are reused, not reallocated
+
+	notify chan struct{}
+	stop   chan struct{}
+}
+
+// enqueueResp implements respSink.
+func (r *muxResponder) enqueueResp(w int, k slotKey) {
+	r.mu.Lock()
+	r.queue = append(r.queue, respJob{w, k})
+	r.mu.Unlock()
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (r *muxResponder) loop() {
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.notify:
+		case <-r.mc.GrantC():
+		}
+		if r.mc.FlushGrants() != nil {
+			// Conn broken: the demux loop observes the same failure; just
+			// stop writing.
+			return
+		}
+		for {
+			// Swap queue and spare under the lock, and only when non-empty:
+			// swapping on an empty take would leave both fields aliased to
+			// one array, letting concurrent enqueues overwrite a jobs slice
+			// mid-iteration.
+			r.mu.Lock()
+			if len(r.queue) == 0 {
+				r.mu.Unlock()
+				break
+			}
+			jobs := r.queue
+			r.queue = r.spare[:0]
+			r.spare = jobs
+			r.mu.Unlock()
+			for _, j := range jobs {
+				if err := r.respond(j.w, j.k); err != nil {
+					// A mux write failure poisons the shared connection:
+					// close it so the demux loop (and every sender) unwinds.
+					r.s.workerFailed(j.w, fmt.Errorf("write pull response: %w", err))
+					r.mc.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// respond writes one queued pull response on the worker's stream.
+func (r *muxResponder) respond(w int, k slotKey) error {
+	mean := r.s.meanFor(w, k)
+	if mean == nil {
+		return nil // collected, not aggregated yet, or worker dropped
+	}
+	stream := uint32(0)
+	for i, id := range r.ids {
+		if id == w {
+			stream = uint32(i)
+			break
+		}
+	}
+	werr := r.mc.SendFloats(stream, transport.PullResp, k.iter, k.tensor, mean)
+	return r.s.finishRespond(w, k, werr)
+}
+
+// MuxGroupOptions configures the client half of a multiplexed connection.
+// Redial is deliberately absent: a mux conn is shared by every in-process
+// worker, so reconnect policy belongs to whoever owns the group.
+type MuxGroupOptions struct {
+	// PullTimeout bounds each MuxWorker.Pull (0 = wait forever).
+	PullTimeout time.Duration
+	// Metrics, when non-nil, counts pull timeouts and lost connections
+	// under the ps_client_* names (shared by all workers of the group).
+	Metrics *probe.Metrics
+}
+
+// MuxGroup is the client side of one multiplexed connection: `workers`
+// logical clients (stream id == worker index within the group) behind a
+// single demux goroutine. Obtain per-worker handles with Worker.
+type MuxGroup struct {
+	mc      *transport.MuxConn
+	opts    MuxGroupOptions
+	workers []*MuxWorker
+	done    chan struct{}
+
+	mTimeouts, mConnLost *probe.Counter
+}
+
+// NewMuxGroup wraps conn (the peer must be a Server.ServeMux with the same
+// worker count) and starts the demux goroutine.
+func NewMuxGroup(conn net.Conn, workers int, opts MuxGroupOptions) *MuxGroup {
+	if workers <= 0 {
+		panic("ps: NewMuxGroup needs at least one worker")
+	}
+	g := &MuxGroup{
+		mc:      transport.NewMuxConn(conn, transport.MuxOptions{Streams: workers, Pool: payloads, AutoGrant: true}),
+		opts:    opts,
+		workers: make([]*MuxWorker, workers),
+		done:    make(chan struct{}),
+	}
+	if m := opts.Metrics; m != nil {
+		g.mTimeouts = m.Counter("ps_client_pull_timeouts")
+		g.mConnLost = m.Counter("ps_client_conn_lost")
+	}
+	for w := range g.workers {
+		g.workers[w] = &MuxWorker{
+			g:       g,
+			stream:  uint32(w),
+			pending: make(map[slotKey]chan PullResult),
+		}
+	}
+	go g.readLoop()
+	return g
+}
+
+// Worker returns the handle for logical worker w (0 ≤ w < workers).
+func (g *MuxGroup) Worker(w int) *MuxWorker { return g.workers[w] }
+
+// Close tears down the shared connection, failing every worker's pending
+// pulls, and waits for the demux goroutine to exit.
+func (g *MuxGroup) Close() error {
+	err := g.mc.Close()
+	<-g.done
+	return err
+}
+
+func (g *MuxGroup) readLoop() {
+	defer close(g.done)
+	for {
+		stream, f, err := g.mc.Read()
+		if err != nil {
+			lost := fmt.Errorf("%w: %v", ErrConnLost, err)
+			if g.mConnLost != nil && !isCleanClose(err) {
+				g.mConnLost.Inc()
+			}
+			for _, mw := range g.workers {
+				mw.failPending(lost)
+			}
+			return
+		}
+		g.workers[stream].deliver(f)
+		g.mc.Done(stream, f)
+	}
+}
+
+// MuxWorker is one logical worker's view of a MuxGroup — the mux
+// counterpart of *Client, sharing the group's connection and demux
+// goroutine. It implements WorkerLink.
+type MuxWorker struct {
+	g      *MuxGroup
+	stream uint32
+
+	mu      sync.Mutex
+	pending map[slotKey]chan PullResult
+	readErr error
+	closed  bool
+}
+
+// deliver routes one demuxed frame; the payload is decoded before the
+// caller recycles the wire bytes.
+func (mw *MuxWorker) deliver(f *transport.Frame) {
+	if f.Type != transport.PullResp {
+		return
+	}
+	k := slotKey{f.Iter, f.Tensor}
+	mw.mu.Lock()
+	ch, ok := mw.pending[k]
+	if ok {
+		delete(mw.pending, k)
+	}
+	mw.mu.Unlock()
+	if !ok {
+		return
+	}
+	n, derr := transport.FloatCount(f.Payload)
+	if derr != nil {
+		ch <- PullResult{Err: fmt.Errorf("ps: pull response for iter %d tensor %d: %w", f.Iter, f.Tensor, derr)}
+		return
+	}
+	data := floats.get(n)
+	transport.DecodeFloatsInto(data, f.Payload)
+	ch <- PullResult{Data: data}
+}
+
+// failPending fails every registered pull with err and latches it for
+// future registrations.
+func (mw *MuxWorker) failPending(err error) {
+	mw.mu.Lock()
+	if mw.readErr == nil {
+		mw.readErr = err
+	}
+	for _, ch := range mw.pending {
+		ch <- PullResult{Err: err}
+	}
+	mw.pending = make(map[slotKey]chan PullResult)
+	mw.mu.Unlock()
+}
+
+func (mw *MuxWorker) register(k slotKey) (chan PullResult, error) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if mw.closed {
+		return nil, net.ErrClosed
+	}
+	if mw.readErr != nil {
+		return nil, mw.readErr
+	}
+	if _, dup := mw.pending[k]; dup {
+		return nil, fmt.Errorf("ps: duplicate pull for iter %d tensor %d", k.iter, k.tensor)
+	}
+	ch := make(chan PullResult, 1)
+	mw.pending[k] = ch
+	return ch, nil
+}
+
+func (mw *MuxWorker) deregister(k slotKey) {
+	mw.mu.Lock()
+	delete(mw.pending, k)
+	mw.mu.Unlock()
+}
+
+// Push sends a gradient tensor on this worker's stream.
+func (mw *MuxWorker) Push(iter, tensor int, data []float64) error {
+	return mw.g.mc.SendFloats(mw.stream, transport.Push, uint32(iter), uint32(tensor), data)
+}
+
+// PullAsync issues a pull request and returns the result channel.
+func (mw *MuxWorker) PullAsync(iter, tensor int) (<-chan PullResult, error) {
+	k := slotKey{uint32(iter), uint32(tensor)}
+	ch, err := mw.register(k)
+	if err != nil {
+		return nil, err
+	}
+	if err := mw.g.mc.SendFrame(mw.stream, &transport.Frame{Type: transport.PullReq, Iter: k.iter, Tensor: k.tensor}); err != nil {
+		mw.deregister(k)
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	return ch, nil
+}
+
+// PushPullBatch stages every tensor's push and pull request as one mux
+// batch: a single credit reservation and a single write on the shared
+// connection, interleaved by stream with other workers' batches. Semantics
+// match Client.PushPullBatch (channels delivered before any byte moves,
+// all-or-nothing registration).
+func (mw *MuxWorker) PushPullBatch(iter int, tensors []int, grad func(tensor int) []float64, res func(tensor int, ch <-chan PullResult)) error {
+	nreg := 0
+	var err error
+	for _, t := range tensors {
+		k := slotKey{uint32(iter), uint32(t)}
+		ch, rerr := mw.register(k)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		nreg++
+		res(t, ch)
+	}
+	if err == nil {
+		b := mw.g.mc.NewBatch(mw.stream)
+		for _, t := range tensors {
+			if err = b.AppendFloats(transport.Push, uint32(iter), uint32(t), grad(t)); err != nil {
+				break
+			}
+			if err = b.AppendFrame(&transport.Frame{Type: transport.PullReq, Iter: uint32(iter), Tensor: uint32(t)}); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			if err = mw.g.mc.SendBatch(b); err != nil {
+				err = fmt.Errorf("%w: %v", ErrConnLost, err)
+			}
+		} else {
+			mw.g.mc.PutBatch(b)
+		}
+	}
+	if err != nil {
+		for i := 0; i < nreg; i++ {
+			mw.deregister(slotKey{uint32(iter), uint32(tensors[i])})
+		}
+		return err
+	}
+	return nil
+}
+
+// Pull issues a pull and waits for the result, bounded by the group's
+// PullTimeout. No redial: mux connections don't reconnect.
+func (mw *MuxWorker) Pull(iter, tensor int) ([]float64, error) {
+	ch, err := mw.PullAsync(iter, tensor)
+	if err != nil {
+		return nil, err
+	}
+	var timeoutC <-chan time.Time
+	if d := mw.g.opts.PullTimeout; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case r := <-ch:
+		return r.Data, r.Err
+	case <-timeoutC:
+		mw.deregister(slotKey{uint32(iter), uint32(tensor)})
+		if mw.g.mTimeouts != nil {
+			mw.g.mTimeouts.Inc()
+		}
+		return nil, fmt.Errorf("ps: pull iter %d tensor %d: %w after %v", iter, tensor, ErrPullTimeout, mw.g.opts.PullTimeout)
+	}
+}
+
+// Recycle hands a pull result's buffer back to the gradient pool.
+func (mw *MuxWorker) Recycle(data []float64) { floats.put(data) }
+
+// Close is worker-local: it fails this worker's pending pulls and rejects
+// new ones, leaving the shared connection (and the group's other workers)
+// untouched. Close the MuxGroup to tear down the connection itself.
+func (mw *MuxWorker) Close() error {
+	mw.mu.Lock()
+	if mw.closed {
+		mw.mu.Unlock()
+		return nil
+	}
+	mw.closed = true
+	for _, ch := range mw.pending {
+		ch <- PullResult{Err: net.ErrClosed}
+	}
+	mw.pending = make(map[slotKey]chan PullResult)
+	mw.mu.Unlock()
+	return nil
+}

@@ -106,6 +106,11 @@ type Server struct {
 	// response in steady state.
 	fws []transport.FrameWriter
 
+	// sinks[w], when non-nil, routes worker w's responses to a multiplexed
+	// connection's responder (see ServeMux) instead of a per-response
+	// goroutine writing to conns[w].
+	sinks []respSink
+
 	pushes, pulls int
 
 	// probe counter handles; nil unless SetMetrics attached a registry.
@@ -135,6 +140,7 @@ func NewServer(workers int) *Server {
 		conns:      make([]net.Conn, workers),
 		writeMu:    make([]sync.Mutex, workers),
 		fws:        make([]transport.FrameWriter, workers),
+		sinks:      make([]respSink, workers),
 		workerErrs: make([]error, workers),
 	}
 }
@@ -412,13 +418,20 @@ func (s *Server) takeWaitingLocked(sl *slot) []pendingPull {
 // respondAsync sends a response without blocking the caller's read loop —
 // a worker's connection stays full duplex: its pushes keep flowing while a
 // large parameter response streams back. Write failures are routed through
-// the per-worker failure path rather than aborting aggregation.
+// the per-worker failure path rather than aborting aggregation. Workers
+// served over a multiplexed connection enqueue to its responder goroutine
+// instead of spawning one per response.
 func (s *Server) respondAsync(w int, k slotKey) {
 	s.mu.Lock()
 	if sl, ok := s.slots[k]; ok {
 		sl.inflight[w] = true
 	}
+	sink := s.sinks[w]
 	s.mu.Unlock()
+	if sink != nil {
+		sink.enqueueResp(w, k)
+		return
+	}
 	s.respondWG.Add(1)
 	go func() {
 		defer s.respondWG.Done()
@@ -612,20 +625,67 @@ func (s *Server) allServedLocked(sl *slot) bool {
 	return true
 }
 
-// respond sends the aggregated tensor to a worker; the slot is marked
-// served — and garbage-collected once every live worker has it — only
-// after the write succeeds, so a failed delivery can be retried by a
-// reconnecting client.
-func (s *Server) respond(w int, k slotKey) error {
+// meanFor returns the aggregated mean for k if it is ready and w is still
+// live, or nil when there is nothing to deliver (slot collected, not yet
+// aggregated, or worker dropped).
+func (s *Server) meanFor(w int, k slotKey) []float64 {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	sl, ok := s.slots[k]
 	if !ok || sl.mean == nil || s.dead[w] {
+		return nil
+	}
+	return sl.mean
+}
+
+// finishRespond records a response delivery's outcome and passes werr
+// through. On failure the in-flight mark is cleared so a reconnecting
+// client's retried pull is served rather than rejected; on success the slot
+// is marked served — and garbage-collected once every live worker has it.
+func (s *Server) finishRespond(w int, k slotKey, werr error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, ok := s.slots[k]
+	if !ok {
+		return werr
+	}
+	sl.inflight[w] = false
+	if werr != nil {
+		return werr
+	}
+	sl.servedBy[w] = true
+	if s.allServedLocked(sl) {
+		if sl.timer != nil {
+			sl.timer.Stop()
+			sl.timer = nil
+		}
+		delete(s.slots, k)
+		s.done[k] = true
+	}
+	return nil
+}
+
+// respond sends the aggregated tensor to a worker over its dedicated
+// connection; delivery bookkeeping is deferred to finishRespond.
+func (s *Server) respond(w int, k slotKey) error {
+	mean := s.meanFor(w, k)
+	if mean == nil {
+		return nil
+	}
+	s.mu.Lock()
+	conn := s.conns[w]
+	s.mu.Unlock()
+	if conn == nil {
+		// No dedicated connection (mux worker whose responder was already
+		// torn down): nothing to write to — clear the in-flight mark so the
+		// slot stays retryable, but don't count the worker as served.
+		s.mu.Lock()
+		if sl, ok := s.slots[k]; ok {
+			sl.inflight[w] = false
+		}
 		s.mu.Unlock()
 		return nil
 	}
-	mean := sl.mean
-	conn := s.conns[w]
-	s.mu.Unlock()
 
 	// Encode the mean straight into the worker's reusable frame writer and
 	// emit header+payload as one write: one limiter Wait, one syscall, no
@@ -635,32 +695,7 @@ func (s *Server) respond(w int, k slotKey) error {
 	fw.Reset(conn)
 	err := fw.WriteFloats(transport.PullResp, k.iter, k.tensor, mean)
 	s.writeMu[w].Unlock()
-	if err != nil {
-		// The delivery failed: clear the in-flight mark so a reconnecting
-		// client's retried pull is served rather than rejected.
-		s.mu.Lock()
-		if sl, ok := s.slots[k]; ok {
-			sl.inflight[w] = false
-		}
-		s.mu.Unlock()
-		return err
-	}
-
-	s.mu.Lock()
-	if sl, ok := s.slots[k]; ok {
-		sl.inflight[w] = false
-		sl.servedBy[w] = true
-		if s.allServedLocked(sl) {
-			if sl.timer != nil {
-				sl.timer.Stop()
-				sl.timer = nil
-			}
-			delete(s.slots, k)
-			s.done[k] = true
-		}
-	}
-	s.mu.Unlock()
-	return nil
+	return s.finishRespond(w, k, err)
 }
 
 // PullResult is one pull's outcome: the aggregated tensor, or the error
@@ -1019,6 +1054,14 @@ func (c *Client) reconnect(gen int) error {
 	}
 	done := make(chan struct{})
 	c.mu.Lock()
+	if c.closed {
+		// Close raced the redial: the new connection must not outlive the
+		// client, or its readLoop would leak and Close's waiters would have
+		// synchronized with the wrong generation's done channel.
+		c.mu.Unlock()
+		conn.Close()
+		return net.ErrClosed
+	}
 	c.conn = conn
 	c.gen++
 	c.readErr = nil

@@ -5,6 +5,24 @@ import (
 	"fmt"
 )
 
+// WorkerLink is one worker's connection surface to a parameter server
+// shard. Two implementations exist: *Client (a dedicated socket with its
+// own reader goroutine, redial support) and *MuxWorker (a logical stream
+// on a connection shared by every in-process worker).
+type WorkerLink interface {
+	Push(iter, tensor int, data []float64) error
+	PullAsync(iter, tensor int) (<-chan PullResult, error)
+	PushPullBatch(iter int, tensors []int, grad func(tensor int) []float64, res func(tensor int, ch <-chan PullResult)) error
+	Pull(iter, tensor int) ([]float64, error)
+	Recycle(data []float64)
+	Close() error
+}
+
+var (
+	_ WorkerLink = (*Client)(nil)
+	_ WorkerLink = (*MuxWorker)(nil)
+)
+
 // ShardedClient fans a worker's pushes and pulls across several parameter
 // server shards by a deterministic key→shard map: tensor t always talks to
 // shard of(t). Every worker and every shard server derives the same map
@@ -17,49 +35,60 @@ import (
 // block while a higher-priority one has unscheduled bytes) is the caller's
 // to enforce — internal/emu gates block dispatch for that.
 type ShardedClient struct {
-	clients []*Client
-	of      func(tensor int) int
+	links []WorkerLink
+	of    func(tensor int) int
 }
 
-// NewShardedClient builds a sharded view over one client per shard.
-// `of` maps a tensor index to its shard and must be total over the
+// NewShardedClient builds a sharded view over one dedicated client per
+// shard. `of` maps a tensor index to its shard and must be total over the
 // tensors pushed; out-of-range results panic at use.
 func NewShardedClient(clients []*Client, of func(tensor int) int) *ShardedClient {
-	if len(clients) == 0 {
+	links := make([]WorkerLink, len(clients))
+	for i, c := range clients {
+		links[i] = c
+	}
+	return NewShardedLinks(links, of)
+}
+
+// NewShardedLinks is NewShardedClient over any per-shard links — the
+// constructor for mux transports, where each shard's link is a MuxWorker
+// on that shard's shared connection.
+func NewShardedLinks(links []WorkerLink, of func(tensor int) int) *ShardedClient {
+	if len(links) == 0 {
 		panic("ps: NewShardedClient with no clients")
 	}
 	if of == nil {
-		if len(clients) > 1 {
+		if len(links) > 1 {
 			panic("ps: NewShardedClient with multiple shards needs a key map")
 		}
 		of = func(int) int { return 0 }
 	}
-	return &ShardedClient{clients: clients, of: of}
+	return &ShardedClient{links: links, of: of}
 }
 
 // Shards returns the shard count.
-func (c *ShardedClient) Shards() int { return len(c.clients) }
+func (c *ShardedClient) Shards() int { return len(c.links) }
 
-// Shard returns shard s's underlying client.
-func (c *ShardedClient) Shard(s int) *Client { return c.clients[s] }
+// Shard returns shard s's underlying link.
+func (c *ShardedClient) Shard(s int) WorkerLink { return c.links[s] }
 
 // ShardOf returns the shard that owns tensor t.
 func (c *ShardedClient) ShardOf(t int) int {
 	s := c.of(t)
-	if s < 0 || s >= len(c.clients) {
-		panic(fmt.Sprintf("ps: tensor %d maps to shard %d of %d", t, s, len(c.clients)))
+	if s < 0 || s >= len(c.links) {
+		panic(fmt.Sprintf("ps: tensor %d maps to shard %d of %d", t, s, len(c.links)))
 	}
 	return s
 }
 
 // Push sends a gradient tensor to its shard's server.
 func (c *ShardedClient) Push(iter, tensor int, data []float64) error {
-	return c.clients[c.ShardOf(tensor)].Push(iter, tensor, data)
+	return c.links[c.ShardOf(tensor)].Push(iter, tensor, data)
 }
 
 // PullAsync requests the aggregated tensor from its shard's server.
 func (c *ShardedClient) PullAsync(iter, tensor int) (<-chan PullResult, error) {
-	return c.clients[c.ShardOf(tensor)].PullAsync(iter, tensor)
+	return c.links[c.ShardOf(tensor)].PullAsync(iter, tensor)
 }
 
 // PushPullBatch pushes the listed tensors — which must all live on one
@@ -75,7 +104,7 @@ func (c *ShardedClient) PushPullBatch(iter int, tensors []int, grad func(tensor 
 			return fmt.Errorf("ps: batch spans shards %d and %d", s, c.ShardOf(t))
 		}
 	}
-	return c.clients[s].PushPullBatch(iter, tensors, grad, res)
+	return c.links[s].PushPullBatch(iter, tensors, grad, res)
 }
 
 // Recycle hands a pull result's buffer back to the gradient pool (see
@@ -84,13 +113,13 @@ func (c *ShardedClient) Recycle(data []float64) { floats.put(data) }
 
 // Pull blocks for the aggregated tensor from its shard's server.
 func (c *ShardedClient) Pull(iter, tensor int) ([]float64, error) {
-	return c.clients[c.ShardOf(tensor)].Pull(iter, tensor)
+	return c.links[c.ShardOf(tensor)].Pull(iter, tensor)
 }
 
-// Close shuts down every shard connection, joining the errors.
+// Close shuts down every shard link, joining the errors.
 func (c *ShardedClient) Close() error {
 	var errs []error
-	for s, cl := range c.clients {
+	for s, cl := range c.links {
 		if err := cl.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
 		}

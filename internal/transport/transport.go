@@ -20,11 +20,13 @@ import (
 // MsgType labels a frame.
 type MsgType uint8
 
-// Frame types: a gradient push, a parameter pull request, and its response.
+// Frame types: a gradient push, a parameter pull request, its response, and
+// a flow-control credit grant (mux connections only, see mux.go).
 const (
 	Push MsgType = iota + 1
 	PullReq
 	PullResp
+	Credit
 )
 
 func (t MsgType) String() string {
@@ -35,6 +37,8 @@ func (t MsgType) String() string {
 		return "pull-req"
 	case PullResp:
 		return "pull-resp"
+	case Credit:
+		return "credit"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
