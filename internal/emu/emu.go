@@ -123,9 +123,13 @@ type Config struct {
 	// per-worker×shard, which is what makes Workers ≥ 1000 practical on a
 	// single host. Scheduling decisions are unaffected — they replay
 	// before any byte moves — so decision logs and training trajectories
-	// are bit-identical to the unmuxed path. Mux is incompatible with
-	// Faults: injectors wrap a single worker's private connection, which
-	// does not exist when workers share one.
+	// are bit-identical to the unmuxed path. The shared per-shard pipe is
+	// shaped to Workers×BandwidthBytesPerSec, preserving each worker's B
+	// fair share and the per-shard aggregate of the dedicated transport;
+	// timing differs only in serialization (one worker can transiently
+	// burst past B on the shared wire). Mux is incompatible with Faults:
+	// injectors wrap a single worker's private connection, which does not
+	// exist when workers share one.
 	Mux bool
 
 	// Faults maps a worker id to a fault injection spec applied to that
@@ -283,11 +287,16 @@ func Run(cfg Config) (*Result, error) {
 	var groups []*ps.MuxGroup
 	if cfg.Mux {
 		// One shared connection per shard; every worker is a logical
-		// stream on it. The shared link carries the configured bandwidth,
-		// so per-shard ingest matches the unmuxed aggregate.
+		// stream on it. The shared pipe is shaped to Workers×B: unmuxed,
+		// each worker×shard pipe carries B, so the per-shard aggregate is
+		// Workers×B — shaping the one shared link to that aggregate keeps
+		// each worker's fair share at B and timing comparable across
+		// transports (though a lone bursting worker can transiently exceed
+		// B, since the wire serializes rather than partitions).
+		muxBW := cfg.BandwidthBytesPerSec * float64(cfg.Workers)
 		groups = make([]*ps.MuxGroup, shards)
 		for s := 0; s < shards; s++ {
-			a, b := transport.Pipe(cfg.BandwidthBytesPerSec, cfg.BandwidthBytesPerSec)
+			a, b := transport.Pipe(muxBW, muxBW)
 			a = transport.Meter(a, cfg.Metrics, "transport_worker")
 			rawConns = append(rawConns, a)
 			groups[s] = ps.NewMuxGroup(a, cfg.Workers, ps.MuxGroupOptions{

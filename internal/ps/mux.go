@@ -226,14 +226,19 @@ func (r *muxResponder) respond(w int, k slotKey) error {
 	if mean == nil {
 		return nil // collected, not aggregated yet, or worker dropped
 	}
-	stream := uint32(0)
+	stream := -1
 	for i, id := range r.ids {
 		if id == w {
-			stream = uint32(i)
+			stream = i
 			break
 		}
 	}
-	werr := r.mc.SendFloats(stream, transport.PullResp, k.iter, k.tensor, mean)
+	if stream < 0 {
+		// Sinks are registered per id, so this is unreachable today; fail
+		// loudly rather than misdelivering the response on stream 0.
+		return fmt.Errorf("ps: worker %d is not on this mux connection", w)
+	}
+	werr := r.mc.SendFloats(uint32(stream), transport.PullResp, k.iter, k.tensor, mean)
 	return r.s.finishRespond(w, k, werr)
 }
 
@@ -303,6 +308,12 @@ func (g *MuxGroup) readLoop() {
 	for {
 		stream, f, err := g.mc.Read()
 		if err != nil {
+			// Close the mux before failing the waiters (idempotent): a
+			// sender parked in a credit reservation only wakes on close or
+			// an incoming grant, and no grant will ever arrive on a dead
+			// connection — without the close, a worker blocked mid-
+			// SendBatch would hang forever even after the run aborts.
+			g.mc.Close()
 			lost := fmt.Errorf("%w: %v", ErrConnLost, err)
 			if g.mConnLost != nil && !isCleanClose(err) {
 				g.mConnLost.Inc()

@@ -2,6 +2,7 @@ package ps
 
 import (
 	"errors"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -170,6 +171,51 @@ func TestMuxGroupCloseFailsPending(t *testing.T) {
 	}
 	if _, err := link.PullAsync(0, 1); err == nil {
 		t.Fatal("pull after close succeeded")
+	}
+}
+
+// TestMuxConnLossUnblocksCreditWaiters pins the abort path: a sender
+// parked in a credit reservation only wakes on close or an incoming
+// grant, so when the connection dies the group's readLoop must close the
+// mux — otherwise a worker blocked mid-push hangs forever (emu.Run's
+// abort closes raw conns and then waits for every worker).
+func TestMuxConnLossUnblocksCreditWaiters(t *testing.T) {
+	a, b := transport.Pipe(0, 0)
+	g := NewMuxGroup(a, 1, MuxGroupOptions{})
+	defer g.Close()
+	// The peer drains bytes but never grants credit back.
+	drained := make(chan struct{})
+	go func() { defer close(drained); io.Copy(io.Discard, b) }()
+
+	link := g.Worker(0)
+	payload := make([]float64, 8<<10) // 65553 wire bytes per push
+	// Three pushes leave the 256 KiB stream window short of a fourth.
+	for i := 0; i < 3; i++ {
+		if err := link.Push(0, i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- link.Push(1, 0, payload) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("push did not block on exhausted credit (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	b.Close() // the connection dies while the sender waits for credit
+	select {
+	case err := <-blocked:
+		if err == nil {
+			t.Fatal("credit-blocked push succeeded after connection loss")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("credit-blocked sender hung after connection loss")
+	}
+	<-drained
+	// New traffic is rejected, not blocked.
+	if _, err := link.PullAsync(2, 0); err == nil {
+		t.Fatal("pull after connection loss succeeded")
 	}
 }
 
