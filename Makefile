@@ -5,19 +5,21 @@ GO ?= go
 # Packages with real goroutine concurrency (live PS path + fault layer,
 # profile cache, parallel sweep runner, probe observers) plus the shared
 # drive layer both execution paths schedule through.
-RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner ./internal/probe
+RACE_PKGS := ./internal/transport ./internal/ps ./internal/emu ./internal/drive ./internal/tensor ./internal/fault ./internal/profiler ./internal/experiments/runner ./internal/probe ./internal/collective
 
 # Native fuzz targets and their packages (go runs one target per invocation).
 FUZZTIME ?= 10s
 
-# Per-package coverage floors (percent) for the scheduling core: the drive
-# layer, the collective transports on top of it, and the strategy registry.
-COVER_PKGS  := ./internal/drive ./internal/allreduce ./internal/strategy
+# Per-package coverage floors (percent) for the scheduling core and the
+# live wire beneath it: the drive layer, the collective transports on top
+# of it (simulated and live), the strategy registry, and the PS + frame
+# transport packages the emulation runs over.
+COVER_PKGS  := ./internal/drive ./internal/allreduce ./internal/strategy ./internal/ps ./internal/transport ./internal/collective
 COVER_FLOOR ?= 80
 
-.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json bench-scale fuzz trace-smoke conformance cover
+.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json bench-scale fuzz trace-smoke conformance conformance-live cover
 
-check: tier1 lint race conformance cover trace-smoke
+check: tier1 lint race conformance conformance-live cover trace-smoke
 
 tier1: build vet test
 
@@ -45,6 +47,12 @@ race:
 # registry strategy against every backend's chunk schedule through one Driver.
 conformance:
 	$(GO) test -race -count=1 -run 'TestSchedulerConformance' ./internal/drive
+
+# The live counterpart over real sockets: every registry strategy across
+# {dedicated PS, muxed PS, ring, tree}, plus the sim≡live collective mirror,
+# under the race detector.
+conformance-live:
+	$(GO) test -race -count=1 -run 'TestLiveTransportConformance|TestMirrorCollectiveTransports|TestCollectiveAckIsZero' ./internal/emu
 
 # Coverage gate over the scheduling core: each package in COVER_PKGS must
 # individually clear COVER_FLOOR percent of statements.

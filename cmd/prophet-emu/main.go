@@ -1,12 +1,14 @@
 // Command prophet-emu runs the live emulation: real data-parallel SGD on a
-// real MLP over a real concurrent parameter server with rate-shaped
-// connections, under a chosen push schedule. Losses are identical across
+// real MLP over a real concurrent wire — a sharded parameter server
+// (dedicated or multiplexed connections) or a peer-to-peer ring/tree
+// collective — under a chosen push schedule. Losses are identical across
 // schedules (deterministic synchronous aggregation); tensor-0 latency and
 // wall time differ.
 //
 // Usage:
 //
 //	prophet-emu -workers 3 -policy prophet -bandwidth 4e6 -iters 15
+//	prophet-emu -workers 4 -transport ring -attrib          # live collective
 //	prophet-emu -debug-addr 127.0.0.1:6060 -iters 200   # live /metrics JSON
 package main
 
@@ -18,9 +20,11 @@ import (
 	"os"
 	"strings"
 
+	"prophet/internal/drive"
 	"prophet/internal/emu"
 	"prophet/internal/nn"
 	"prophet/internal/probe"
+	"prophet/internal/probe/attrib"
 	"prophet/internal/shard"
 	"prophet/internal/strategy"
 )
@@ -37,6 +41,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "parameter server shards (key-sharded multi-PS)")
 		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
 		mux       = flag.Bool("mux", false, "multiplex all workers onto one shared connection per shard (use for -workers ≥ 100)")
+		transport = flag.String("transport", "ps", "wire transport: "+strings.Join(drive.BackendNames(), "|")+" (ring/tree replace the PS with a peer-to-peer collective)")
+		report    = flag.Bool("attrib", false, "print the stall-attribution report (generation/priority/bandwidth/transmit/ack decomposition)")
 		debugAddr = flag.String("debug-addr", "", "serve live metrics as JSON on this address (e.g. 127.0.0.1:6060/metrics) and dump them after the run")
 	)
 	flag.Parse()
@@ -62,6 +68,15 @@ func main() {
 		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
+	var rec *probe.SpanRecorder
+	if *report {
+		rec = probe.NewSpanRecorder()
+		rec.SetIterationHint(*iters)
+		// ≤ one completing send per tensor per iteration; the MLP below has
+		// 2×(layers−1) = 6 tensors.
+		rec.SetVolumeHint(*iters*6, *workers)
+	}
+
 	ds := nn.Blobs(2048, 16, 4, *seed)
 	res, err := emu.Run(emu.Config{
 		Workers:              *workers,
@@ -76,19 +91,24 @@ func main() {
 		Shards:               *shards,
 		ShardPlacement:       shard.Placement(*placement),
 		Mux:                  *mux,
+		Transport:            *transport,
 		Metrics:              m,
+		Observer:             observerOrNil(rec),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	transport := "dedicated conns"
-	if *mux {
-		transport = "muxed conns"
+	wire := "PS, dedicated conns"
+	switch {
+	case *transport != "" && *transport != "ps":
+		wire = "live " + *transport + " collective"
+	case *mux:
+		wire = "PS, muxed conns"
 	}
 	fmt.Printf("policy %s: %d workers, %d iterations, %.1f MB/s links, %d PS shard(s), %s\n",
-		*policy, *workers, *iters, *bandwidth/1e6, *shards, transport)
+		*policy, *workers, *iters, *bandwidth/1e6, *shards, wire)
 	fmt.Printf("  loss %.4f → %.4f, accuracy %.1f%%\n",
 		res.Losses[0], res.Losses[len(res.Losses)-1], 100*res.FinalAccuracy)
 	var rtt float64
@@ -100,6 +120,11 @@ func main() {
 		1e3*rtt, res.Duration.Round(1e6))
 	fmt.Printf("  push order (last iteration): %v\n", res.PushOrder)
 
+	if rec != nil {
+		fmt.Println("  stall attribution (a zero ack column marks collective ops: no pull leg):")
+		attrib.Analyze(rec, 3).Render(os.Stdout)
+	}
+
 	if m != nil {
 		fmt.Println("  metrics:")
 		if err := m.WriteJSON(os.Stdout); err != nil {
@@ -107,4 +132,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// observerOrNil keeps the unobserved fast path intact: a nil *SpanRecorder
+// must reach the emulation as a nil interface, not a non-nil interface
+// wrapping a nil pointer.
+func observerOrNil(rec *probe.SpanRecorder) probe.Observer {
+	if rec == nil {
+		return nil
+	}
+	return rec
 }

@@ -47,7 +47,7 @@ func main() {
 		hidden    = flag.Int("hidden", 64, "hidden layer width (emu path)")
 		mux       = flag.Bool("mux", false, "emu path: share one multiplexed connection per shard across all workers")
 		topK      = flag.Int("topk", 3, "blocking gradients listed per iteration in the attribution report")
-		transport = flag.String("transport", "ps", "transport backend (sim path): "+strings.Join(drive.BackendNames(), "|"))
+		transport = flag.String("transport", "ps", "transport backend: "+strings.Join(drive.BackendNames(), "|")+" (both paths; ring/tree run the collective)")
 		outJSON   = flag.String("out", "", "Chrome trace JSON output path")
 		outCSV    = flag.String("csv", "", "timeline CSV output path (GPU util + throughput)")
 		outXfer   = flag.String("transfers", "", "per-gradient transfer CSV output path")
@@ -84,7 +84,7 @@ func main() {
 		runEmu(emuConfig{
 			batch: *batch, workers: *workers, hidden: *hidden,
 			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
-			mux: *mux,
+			mux: *mux, transport: *transport,
 		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -path %q: want sim or emu\n", *path)
@@ -109,6 +109,7 @@ type emuConfig struct {
 	iters                  int
 	seed                   uint64
 	mux                    bool
+	transport              string
 }
 
 type outputs struct {
@@ -262,6 +263,9 @@ func runSimCollective(cfg simConfig, wire *model.Model, agg stepwise.Buckets, op
 func runEmu(cfg emuConfig, out outputs) {
 	rec := probe.NewSpanRecorder()
 	rec.SetIterationHint(cfg.iters)
+	// ≤ one completing send per tensor per iteration; the MLP below has
+	// 2×(layers−1) = 6 tensors.
+	rec.SetVolumeHint(cfg.iters*6, cfg.workers)
 	// -bandwidth stays in Mbps for CLI symmetry with the sim path; the
 	// emulation's shaper wants bytes/sec.
 	res, err := emu.Run(emu.Config{
@@ -275,6 +279,7 @@ func runEmu(cfg emuConfig, out outputs) {
 		BandwidthBytesPerSec: cfg.bandwidth * 1e6 / 8,
 		Seed:                 cfg.seed,
 		Mux:                  cfg.mux,
+		Transport:            cfg.transport,
 		Observer:             rec,
 	})
 	if err != nil {

@@ -1,0 +1,190 @@
+package collective
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"prophet/internal/probe"
+)
+
+// runAllReduce drives one op on every peer concurrently and returns each
+// peer's resulting data slice.
+func runAllReduce(t *testing.T, f *Fabric, iter int, inputs [][]float64, onStep StepFunc) [][]float64 {
+	t.Helper()
+	W := f.Workers()
+	out := make([][]float64, W)
+	errs := make([]error, W)
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		data := append([]float64(nil), inputs[w]...)
+		out[w] = data
+		wg.Add(1)
+		go func(w int, data []float64) {
+			defer wg.Done()
+			errs[w] = f.Peer(w).AllReduce(iter, data, onStep)
+		}(w, data)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	return out
+}
+
+func testMeanAndIdentity(t *testing.T, backend string, workers, n int) {
+	t.Helper()
+	f, err := New(backend, workers, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][]float64, workers)
+	want := make([]float64, n)
+	for w := range inputs {
+		inputs[w] = make([]float64, n)
+		for i := range inputs[w] {
+			inputs[w][i] = rng.Float64()*2 - 1
+		}
+	}
+	// The reference mean must mimic the wire's reduction order (segment
+	// sums accumulate in one fixed worker order) only up to float
+	// associativity; with a simple left-to-right sum the comparison below
+	// is approximate, so keep it to a tolerance.
+	for i := range want {
+		s := 0.0
+		for w := range inputs {
+			s += inputs[w][i]
+		}
+		want[i] = s / float64(workers)
+	}
+	// Run several ops back to back: exercises buffer pooling and iter tags.
+	var out [][]float64
+	for it := 0; it < 3; it++ {
+		out = runAllReduce(t, f, it, inputs, nil)
+	}
+	for w := 1; w < workers; w++ {
+		for i := range out[0] {
+			if out[w][i] != out[0][i] {
+				t.Fatalf("%s: worker %d element %d = %v, worker 0 has %v (not bit-identical)",
+					backend, w, i, out[w][i], out[0][i])
+			}
+		}
+	}
+	for i := range want {
+		if d := out[0][i] - want[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("%s: element %d = %v, want ~%v", backend, i, out[0][i], want[i])
+		}
+	}
+}
+
+func TestRingAllReduce(t *testing.T) {
+	for _, w := range []int{2, 3, 4, 5, 8} {
+		testMeanAndIdentity(t, "ring", w, 97)
+	}
+}
+
+func TestTreeAllReduce(t *testing.T) {
+	for _, w := range []int{2, 4, 8} {
+		testMeanAndIdentity(t, "tree", w, 97)
+	}
+}
+
+func TestShortData(t *testing.T) {
+	// Fewer elements than workers: some ring segments are empty.
+	testMeanAndIdentity(t, "ring", 8, 3)
+	testMeanAndIdentity(t, "tree", 8, 3)
+}
+
+func TestStepSpans(t *testing.T) {
+	f, err := New("ring", 4, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var mu sync.Mutex
+	var gotSteps []int
+	var gotBytes float64
+	inputs := make([][]float64, 4)
+	for w := range inputs {
+		inputs[w] = make([]float64, 64)
+	}
+	runAllReduce(t, f, 0, inputs, func(step, steps int, bytes float64, start, end float64) {
+		if steps != 6 {
+			t.Errorf("steps = %d, want 6", steps)
+		}
+		if end < start {
+			t.Errorf("step %d: end %v before start %v", step, end, start)
+		}
+		mu.Lock()
+		gotSteps = append(gotSteps, step)
+		gotBytes += bytes
+		mu.Unlock()
+	})
+	// 4 workers × 6 steps, each moving 64/4 elements = 128 bytes.
+	if len(gotSteps) != 24 {
+		t.Fatalf("observed %d steps, want 24", len(gotSteps))
+	}
+	if want := float64(4 * 6 * 128); gotBytes != want {
+		t.Fatalf("observed %v bytes, want %v", gotBytes, want)
+	}
+}
+
+func TestRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		backend string
+		workers int
+	}{
+		{"ps", 4},         // not a collective schedule
+		{"ring", 1},       // needs peers
+		{"tree", 6},       // halving-doubling needs a power of two
+		{"warp-speed", 4}, // unknown backend
+	}
+	for _, c := range cases {
+		if _, err := New(c.backend, c.workers, 0, Options{}); err == nil {
+			t.Errorf("New(%q, %d) accepted, want error", c.backend, c.workers)
+		}
+	}
+}
+
+func TestCloseUnblocksPeers(t *testing.T) {
+	f, err := New("ring", 3, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one peer enters the op: it blocks waiting for its neighbor's
+	// chunk until Close fails the fabric.
+	done := make(chan error, 1)
+	go func() {
+		done <- f.Peer(0).AllReduce(0, make([]float64, 30), nil)
+	}()
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("blocked peer got %v, want net.ErrClosed", err)
+	}
+	// Double Close stays clean.
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMeteredFabric(t *testing.T) {
+	m := probe.NewMetrics()
+	f, err := New("ring", 2, 1e9, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inputs := [][]float64{make([]float64, 32), make([]float64, 32)}
+	runAllReduce(t, f, 0, inputs, nil)
+	if tx := m.Counter("transport_collective_tx_bytes").Value(); tx == 0 {
+		t.Fatal("metered fabric recorded no tx bytes")
+	}
+}

@@ -3,6 +3,9 @@ package emu
 import (
 	"fmt"
 	"testing"
+
+	"prophet/internal/metrics"
+	"prophet/internal/probe"
 )
 
 func TestPushLabelsMatchSprintf(t *testing.T) {
@@ -28,5 +31,61 @@ func TestPushLabelsAllocBound(t *testing.T) {
 	})
 	if allocs > n+2 {
 		t.Fatalf("pushLabels(%d) allocates %.1f times per run, want ≤ %d", n, allocs, n+2)
+	}
+}
+
+// TestWorkerTablesFastPath pins the per-run table sharing: the tensor-size
+// and label tables are built once (newWorkerTables) and handed read-only to
+// every worker, and label rendering is skipped entirely on the unobserved
+// fast path — at 1000 workers neither cost may scale with the fleet.
+func TestWorkerTablesFastPath(t *testing.T) {
+	cfg := baseConfig()
+	tables := newWorkerTables(&cfg)
+	if tables.labels != nil {
+		t.Fatal("unobserved run rendered push labels")
+	}
+	if len(tables.sizes) == 0 {
+		t.Fatal("no tensor sizes")
+	}
+	cfg.Observer = probe.NewSpanRecorder()
+	tables = newWorkerTables(&cfg)
+	if len(tables.labels) != len(tables.sizes) {
+		t.Fatalf("observed run rendered %d labels for %d tensors", len(tables.labels), len(tables.sizes))
+	}
+}
+
+// TestSampleGrowthAllocBound pins the metrics half of the cold-start
+// satellite: a run whose volume is known up front pre-sizes its sample
+// slices (the Grow family, reached through the span recorder's
+// SetIterationHint/SetVolumeHint), so recording costs exactly the backing
+// arrays and nothing from append doubling.
+func TestSampleGrowthAllocBound(t *testing.T) {
+	const n = 256
+	if allocs := testing.AllocsPerRun(10, func() {
+		var r metrics.RateSeries
+		r.Grow(n)
+		for i := 0; i < n; i++ {
+			r.Add(float64(i), float64(i+1), 1)
+		}
+	}); allocs > 1 {
+		t.Fatalf("pre-sized RateSeries allocates %.1f times for %d samples, want ≤ 1", allocs, n)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		var l metrics.TransferLog
+		l.Grow(n)
+		for i := 0; i < n; i++ {
+			l.Add(metrics.TransferEntry{Iteration: i})
+		}
+	}); allocs > 1 {
+		t.Fatalf("pre-sized TransferLog allocates %.1f times for %d entries, want ≤ 1", allocs, n)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		var l metrics.IterationLog
+		l.Grow(n)
+		for i := 0; i < n; i++ {
+			l.Add(float64(i), float64(i)+0.5)
+		}
+	}); allocs > 2 {
+		t.Fatalf("pre-sized IterationLog allocates %.1f times for %d iterations, want ≤ 2", allocs, n)
 	}
 }

@@ -38,7 +38,6 @@ import (
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"prophet/internal/core"
@@ -104,6 +103,18 @@ type Config struct {
 	// start from identical parameters) and the tuner's exploration.
 	Seed uint64
 
+	// Transport names the wire engine beneath the drive layer, resolved
+	// through drive.BackendByName: "ps" (default) runs the sharded
+	// parameter server of the paper's testbed; "ring" and "tree" run the
+	// peer-to-peer collective exchange (internal/collective), where the
+	// decided sends play as lockstep all-reduce ops of the backend's chunk
+	// schedule and the aggregated mean lands on every worker as the op
+	// completes. Collective transports need at least 2 workers (tree: a
+	// power of two) and are incompatible with Shards > 1, Mux, Faults, and
+	// non-default failure policies — those knobs describe parameter-server
+	// connections.
+	Transport string
+
 	// Shards runs that many parameter server instances, partitioning
 	// tensors across them by a deterministic key→shard map (0 or 1 = the
 	// single PS of the paper's testbed). Each shard gets its own
@@ -127,9 +138,13 @@ type Config struct {
 	// shaped to Workers×BandwidthBytesPerSec, preserving each worker's B
 	// fair share and the per-shard aggregate of the dedicated transport;
 	// timing differs only in serialization (one worker can transiently
-	// burst past B on the shared wire). Mux is incompatible with Faults:
-	// injectors wrap a single worker's private connection, which does not
-	// exist when workers share one.
+	// burst past B on the shared wire). Byte-offset fault injectors
+	// (drop/stall/corrupt) compose with Mux: they wrap the shared
+	// per-shard pipe, where the tagged stream hits the same byte offsets
+	// as a dedicated connection (see fault/mux_compose_test.go) — though a
+	// tripped injector naturally perturbs every worker on the pipe, not
+	// just the one whose spec it was. Per-worker rate shaping (Throttle)
+	// stays incompatible: it would throttle the whole shared wire.
 	Mux bool
 
 	// Faults maps a worker id to a fault injection spec applied to that
@@ -203,11 +218,40 @@ func (c *Config) validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("emu: negative shard count %d", c.Shards)
 	}
-	if c.Mux && len(c.Faults) > 0 {
-		return fmt.Errorf("emu: fault injection needs per-worker connections; Mux shares one per shard")
+	if c.Mux {
+		// Byte-offset injectors compose on the shared per-shard pipe (the
+		// tagged stream hits identical offsets); per-worker rate shaping
+		// cannot — it would throttle every worker on the wire.
+		for w, spec := range c.Faults {
+			if spec.ThrottleBytesPerSec > 0 {
+				return fmt.Errorf("emu: worker %d: throttle faults shape a single worker's private connection, which does not exist under Mux", w)
+			}
+		}
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
+	}
+	if c.Transport == "" {
+		c.Transport = "ps"
+	}
+	be, err := drive.BackendByName(c.Transport)
+	if err != nil {
+		return fmt.Errorf("emu: %w", err)
+	}
+	c.Transport = be.Name()
+	if c.Transport != "ps" {
+		switch {
+		case c.Workers < 2:
+			return fmt.Errorf("emu: transport %q needs at least 2 workers, have %d", c.Transport, c.Workers)
+		case c.Shards > 1:
+			return fmt.Errorf("emu: transport %q has no parameter server to shard (Shards %d)", c.Transport, c.Shards)
+		case c.Mux:
+			return fmt.Errorf("emu: transport %q is inherently multiplexed; Mux selects the shared-pipe PS transport", c.Transport)
+		case len(c.Faults) > 0:
+			return fmt.Errorf("emu: fault injection wraps parameter-server connections; transport %q has none", c.Transport)
+		case c.Failure != FailFast:
+			return fmt.Errorf("emu: failure policy %q is parameter-server specific; transport %q supports only fail-fast", c.Failure, c.Transport)
+		}
 	}
 	if c.Dataset.X.Cols != c.Layers[0] {
 		return fmt.Errorf("emu: dataset has %d features, model expects %d", c.Dataset.X.Cols, c.Layers[0])
@@ -263,9 +307,17 @@ func Run(cfg Config) (*Result, error) {
 	clock := func() float64 { return time.Since(runStart).Seconds() }
 	cfg.Observer = probe.NewMulti(cfg.Observer, cfg.Metrics.Observer())
 
-	// The key→shard map is derived from the tensor sizes alone, so every
+	// Collective transports have no parameter servers: the rest of this
+	// function is PS wiring, so they branch to their own run body.
+	if cfg.Transport != "ps" {
+		return runCollective(cfg, pullTimeout, clock)
+	}
+
+	// The per-worker constant tables are shared by every worker goroutine;
+	// the key→shard map is derived from the tensor sizes alone, so every
 	// worker and every shard server computes the identical assignment.
-	smap, err := shard.New(tensorSizes(cfg.Layers, cfg.Seed), cfg.Shards, cfg.ShardPlacement)
+	tables := newWorkerTables(&cfg)
+	smap, err := shard.New(tables.sizes, cfg.Shards, cfg.ShardPlacement)
 	if err != nil {
 		return nil, fmt.Errorf("emu: %w", err)
 	}
@@ -295,9 +347,26 @@ func Run(cfg Config) (*Result, error) {
 		// B, since the wire serializes rather than partitions).
 		muxBW := cfg.BandwidthBytesPerSec * float64(cfg.Workers)
 		groups = make([]*ps.MuxGroup, shards)
+		// Byte-offset injectors compose on the shared pipe: the tagged
+		// stream hits the same offsets as a dedicated connection. Specs
+		// wrap in ascending worker order so offsets stay deterministic; a
+		// tripped injector perturbs every worker sharing the pipe.
+		faultWorkers := make([]int, 0, len(cfg.Faults))
+		for w := range cfg.Faults {
+			faultWorkers = append(faultWorkers, w)
+		}
+		sort.Ints(faultWorkers)
 		for s := 0; s < shards; s++ {
 			a, b := transport.Pipe(muxBW, muxBW)
 			a = transport.Meter(a, cfg.Metrics, "transport_worker")
+			for _, w := range faultWorkers {
+				var onFault func(string)
+				if obs := cfg.Observer; obs != nil {
+					w := w
+					onFault = func(kind string) { obs.FaultInjected(w, kind, clock()) }
+				}
+				a = cfg.Faults[w].WrapObserved(a, onFault)
+			}
 			rawConns = append(rawConns, a)
 			groups[s] = ps.NewMuxGroup(a, cfg.Workers, ps.MuxGroupOptions{
 				PullTimeout: pullTimeout,
@@ -425,11 +494,12 @@ func Run(cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
+		eng := newPSEngine(clients[w], cfg.Metrics, cfg.Mux)
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, eng *psEngine) {
 			defer wg.Done()
-			workerErrs[w] = runWorker(w, cfg, pullTimeout, clients[w], res, clock)
-		}(w)
+			workerErrs[w] = runWorker(w, cfg, pullTimeout, eng, tables, res, clock)
+		}(w, eng)
 	}
 	wg.Wait()
 	res.Duration = time.Since(start)
@@ -492,52 +562,44 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// awaitPull waits for one pull result with an optional timeout.
-func awaitPull(ch <-chan ps.PullResult, timeout time.Duration) ([]float64, error) {
-	if timeout <= 0 {
-		r, ok := <-ch
-		return pullOutcome(r, ok)
-	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case r, ok := <-ch:
-		return pullOutcome(r, ok)
-	case <-timer.C:
-		return nil, fmt.Errorf("%w after %v", ps.ErrPullTimeout, timeout)
-	}
+// workerTables holds the constant per-worker tables, built once per run
+// and shared read-only across all worker goroutines — rebuilding them per
+// worker was a measurable slice of cold-start allocation at 1000-worker
+// scale.
+type workerTables struct {
+	sizes  []float64
+	labels []string
 }
 
-func pullOutcome(r ps.PullResult, ok bool) ([]float64, error) {
-	if !ok {
-		return nil, fmt.Errorf("%w: channel closed", ps.ErrConnLost)
+func newWorkerTables(cfg *Config) *workerTables {
+	t := &workerTables{sizes: tensorSizes(cfg.Layers, cfg.Seed)}
+	if cfg.Observer != nil {
+		t.labels = pushLabels(len(t.sizes))
 	}
-	if r.Err != nil {
-		return nil, r.Err
-	}
-	return r.Data, nil
+	return t
 }
 
-// runWorker executes the synchronous SGD loop for one worker.
-func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedClient, res *Result, clock func() float64) error {
+// runWorker executes the synchronous SGD loop for one worker, dispatching
+// the decided sends through the transport's liveEngine.
+func runWorker(w int, cfg Config, pullTimeout time.Duration, eng liveEngine, tables *workerTables, res *Result, clock func() float64) error {
 	m := nn.NewMLP(cfg.Layers, cfg.Seed)
 	nTensors := m.NumTensors()
 	shardStride := cfg.Workers * cfg.Batch
-	sizes := make([]float64, nTensors)
-	for idx, t := range m.Tensors() {
-		sizes[idx] = float64(8 * t.Elems)
-	}
+	sizes := tables.sizes
 
 	// The observer is never attached to the replay driver: decision replay
 	// runs on replay-relative times with a wireless Transmitter, so its
 	// send events would be meaningless. The live events are emitted here —
-	// at the real backward pass, the real wire pushes (pushSends), and the
-	// real pull arrivals — on the run's wall clock.
+	// at the real backward pass, the real wire sends (engine Dispatch),
+	// and the real aggregated-gradient arrivals — on the run's wall clock.
 	obs := cfg.Observer
-	var labels []string
-	if obs != nil {
-		labels = pushLabels(nTensors)
-	}
+	eng.Bind(pushParams{worker: w, sizes: sizes, labels: tables.labels, obs: obs, clock: clock})
+
+	// Lockstep transports publish one worker's plan for all: followers
+	// skip the scheduler stack entirely and execute what Plan hands them.
+	pl, isPlanned := eng.(planner)
+	decides := !isPlanned || pl.Decides()
+
 	if w == 0 {
 		res.Losses = make([]float64, 0, cfg.Iterations)
 		res.IterationTime = make([]time.Duration, 0, cfg.Iterations)
@@ -551,12 +613,17 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 		Profile: cfg.Profile,
 	}
 	if bw := cfg.BandwidthBytesPerSec; bw > 0 {
+		// Collective transports cost steps×chunk per tensor on the wire:
+		// the schedulers' effective per-byte rate is the link rate divided
+		// by the backend's total chunk volume — the same scaling the
+		// simulator's collective bandwidth monitor converges to.
+		bw /= transportVolume(cfg.Transport, cfg.Workers)
 		params.Bandwidth = func() float64 { return bw }
 	}
 
 	col := &collector{}
 	newDriver := func(s schedule.Scheduler) *drive.Driver {
-		d := drive.New(s, col, client.Shards(), nTensors, client.ShardOf)
+		d := drive.New(s, col, eng.Lanes(), nTensors, eng.LaneOf())
 		col.drv = d
 		if w == 0 {
 			d.SetRecording(true)
@@ -568,7 +635,7 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 	// stays nil through iteration 0 (which runs FIFO while profiling, like
 	// the paper's profiling window) and is built from the measurement.
 	var drv *drive.Driver
-	if cfg.Policy != "prophet" || cfg.Profile != nil {
+	if decides && (cfg.Policy != "prophet" || cfg.Profile != nil) {
 		s, err := strategy.New(cfg.Policy, params)
 		if err != nil {
 			return fmt.Errorf("emu: worker %d: %w", w, err)
@@ -577,12 +644,10 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 	}
 	var records []drive.Record
 
-	// Per-iteration scratch, allocated once: every tensor slot is
-	// rewritten each iteration (decide errors out unless the scheduler
-	// completed all of them), and the events slice is truncated per pass.
-	chans := make([]<-chan ps.PullResult, nTensors)
+	// Per-iteration scratch, allocated once: the events slice is truncated
+	// per pass.
 	events := make([]genEvent, 0, nTensors)
-	pp := pushParams{worker: w, sizes: sizes, labels: labels, obs: obs, clock: clock, inline: cfg.Mux}
+	grad := func(t int) []float64 { return m.GradData(t) }
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		iterStart := time.Now()
@@ -603,50 +668,59 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, client *ps.ShardedC
 			}
 		})
 
-		d := drv
+		var d *drive.Driver
 		var profiling *drive.Driver
-		if d == nil {
-			profiling = newDriver(schedule.NewFIFO(sizes))
-			d = profiling
-		}
-		sends, err := decide(d, col, iter, events, nTensors)
-		if err != nil {
-			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
+		var sends []wireSend
+		if decides {
+			d = drv
+			if d == nil {
+				profiling = newDriver(schedule.NewFIFO(sizes))
+				d = profiling
+			}
+			var err error
+			sends, err = decide(d, col, iter, events, nTensors)
+			if err != nil {
+				return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
+			}
+			if isPlanned {
+				pl.Publish(iter, sends)
+			}
+		} else {
+			var err error
+			sends, err = pl.Plan(iter)
+			if err != nil {
+				return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
+			}
 		}
 		if w == 0 && iter == cfg.Iterations-1 {
 			res.PushOrder = pushOrderOf(sends, nTensors)
 		}
 
-		// Execute the decided sends: each tensor's push — and its inline
-		// pull request (the request frame is tiny) — goes out when the
-		// scheduler completes it, so responses pipeline with later pushes;
-		// a tensor completed early (priority strategies put tensor 0
-		// first) finishes its round trip early.
-		if err := pushSends(client, iter, m, sends, chans, pp); err != nil {
+		// Execute the decided sends on the wire engine: each tensor's
+		// bytes move when the scheduler completes it, so a tensor
+		// completed early (priority strategies put tensor 0 first)
+		// finishes its round trip early.
+		if err := eng.Dispatch(iter, grad, sends); err != nil {
 			return fmt.Errorf("emu: worker %d iter %d: %w", w, iter, err)
 		}
 		// Collect in priority order: tensor 0's arrival is what would
 		// gate the next forward pass.
 		for idx := 0; idx < nTensors; idx++ {
-			agg, err := awaitPull(chans[idx], pullTimeout)
+			agg, ackedAt, err := eng.Await(iter, idx, pullTimeout)
 			if err != nil {
-				if errors.Is(err, ps.ErrPullTimeout) {
-					cfg.Metrics.Counter("emu_pull_timeouts").Inc()
-				}
 				return fmt.Errorf("emu: worker %d pull iter %d tensor %d (policy %s): %w",
 					w, iter, idx, cfg.Failure, err)
 			}
 			m.SetGrad(idx, agg) // copies: agg is safe to recycle
-			client.Recycle(agg)
-			if obs != nil {
-				obs.PullAcked(w, idx, iter, clock())
-			}
+			eng.Recycle(agg)
 			if idx == 0 && w == 0 {
-				res.Tensor0RoundTrip = append(res.Tensor0RoundTrip, time.Since(bwdStart))
+				res.Tensor0RoundTrip = append(res.Tensor0RoundTrip, ackedAt.Sub(bwdStart))
 			}
 		}
 		m.Step(cfg.LR)
-		d.EndIteration(time.Since(iterStart).Seconds())
+		if d != nil {
+			d.EndIteration(time.Since(iterStart).Seconds())
+		}
 		if obs != nil {
 			obs.EndIteration(w, iter, clock())
 		}
@@ -766,155 +840,6 @@ func pushOrderOf(sends []wireSend, nTensors int) []int {
 	return order
 }
 
-// pushSends executes the decided sends under the cross-shard priority
-// gate. One writer goroutine per shard performs the actual wire calls; the
-// coordinator hands each send's tensor group to its shard writer over an
-// unbuffered channel, so a handoff completes only when the writer has
-// accepted (started) the group. All of send k's tensors are therefore
-// started before any tensor of send k+1 is offered — no shard starts a
-// lower-priority message while a higher-priority one has undispatched
-// tensors — while sends of one scheduler message flow in parallel on their
-// shard links (the driver queues a message's per-shard sub-sends
-// back-to-back).
-//
-// A shard writer flushes all tensors of one send — plus their inline pull
-// requests — as ONE buffered write (ps.Client.PushPullBatch): the live
-// analogue of the simulator's message granularity, and the Parameter-Box
-// batched wire format. Strategies whose messages complete one tensor at a
-// time (FIFO, credit slices) degenerate to one push+pull-request pair per
-// flush; Prophet blocks ship all their tensors in a single write.
-func pushSends(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult, pp pushParams) error {
-	if pp.inline {
-		return pushSendsInline(client, iter, m, sends, chans, pp)
-	}
-	shards := client.Shards()
-	jobs := make([]chan pushJob, shards)
-	errs := make([]error, shards)
-	// depths[s] counts tensors handed to shard s's writer and not yet
-	// picked up — the live analogue of the driver's lane queue depth.
-	depths := make([]atomic.Int64, shards)
-	grad := func(t int) []float64 { return m.GradData(t) }
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		jobs[s] = make(chan pushJob)
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			// deliver runs inside PushPullBatch before any byte is written;
-			// tensor indices are distinct across writers, so no two writers
-			// race on a chans slot.
-			deliver := func(t int, ch <-chan ps.PullResult) { chans[t] = ch }
-			var ranges []probe.Range // reused scratch; observers copy
-			for job := range jobs[s] {
-				depths[s].Add(-int64(len(job.tensors)))
-				if errs[s] != nil {
-					continue // keep draining so the coordinator never blocks
-				}
-				if pp.obs != nil {
-					// One span per flushed batch, carrying a range per
-					// tensor — the same multi-range message shape the
-					// simulator's driver emits. Single-tensor sends keep
-					// the historical one-span-per-push granularity.
-					ranges = ranges[:0]
-					var total float64
-					for _, idx := range job.tensors {
-						ranges = append(ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
-						total += pp.sizes[idx]
-					}
-					first := job.tensors[0]
-					pp.obs.SendStart(pp.worker, s, job.seq, iter, first, pp.labels[first], total, ranges, pp.clock())
-				}
-				if err := client.Shard(s).PushPullBatch(iter, job.tensors, grad, deliver); err != nil {
-					errs[s] = fmt.Errorf("push batch %v (shard %d): %w", job.tensors, s, err)
-					continue
-				}
-				if pp.obs != nil {
-					pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
-				}
-			}
-		}(s)
-	}
-	for seq, snd := range sends {
-		if len(snd.tensors) == 0 {
-			continue
-		}
-		d := depths[snd.lane].Add(int64(len(snd.tensors)))
-		if pp.obs != nil {
-			base := int(d) - len(snd.tensors)
-			for i, idx := range snd.tensors {
-				pp.obs.ShardEnqueued(pp.worker, snd.lane, seq, idx, pp.sizes[idx], base+i+1, pp.clock())
-			}
-		}
-		// The tensors slice is handed to the writer as-is; the collector
-		// that owns it is not reset until after wg.Wait below.
-		jobs[snd.lane] <- pushJob{tensors: snd.tensors, seq: seq}
-	}
-	for s := 0; s < shards; s++ {
-		close(jobs[s])
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
-
-// pushSendsInline is pushSends for the mux transport: the shared per-shard
-// connection serializes writes anyway, so per-shard writer goroutines buy
-// nothing — the worker dispatches each send itself, in decision order. The
-// cross-shard priority gate holds trivially (send k's batch returns before
-// send k+1 is offered), and the probe event stream keeps the exact shape
-// of the goroutine path: ShardEnqueued per tensor, one SendStart span per
-// flushed batch, SendComplete on return.
-func pushSendsInline(client *ps.ShardedClient, iter int, m *nn.MLP, sends []wireSend, chans []<-chan ps.PullResult, pp pushParams) error {
-	grad := func(t int) []float64 { return m.GradData(t) }
-	deliver := func(t int, ch <-chan ps.PullResult) { chans[t] = ch }
-	var ranges []probe.Range // reused scratch; observers copy
-	for seq, snd := range sends {
-		if len(snd.tensors) == 0 {
-			continue
-		}
-		s := snd.lane
-		if pp.obs != nil {
-			ranges = ranges[:0]
-			var total float64
-			for i, idx := range snd.tensors {
-				// Inline dispatch never queues: depth is just the position
-				// within this send's own batch.
-				pp.obs.ShardEnqueued(pp.worker, s, seq, idx, pp.sizes[idx], i+1, pp.clock())
-				ranges = append(ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
-				total += pp.sizes[idx]
-			}
-			first := snd.tensors[0]
-			pp.obs.SendStart(pp.worker, s, seq, iter, first, pp.labels[first], total, ranges, pp.clock())
-		}
-		if err := client.Shard(s).PushPullBatch(iter, snd.tensors, grad, deliver); err != nil {
-			return fmt.Errorf("push batch %v (shard %d): %w", snd.tensors, s, err)
-		}
-		if pp.obs != nil {
-			pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
-		}
-	}
-	return nil
-}
-
-// pushJob is one send's tensor group handed to a shard writer, flushed as
-// a single batched write, plus the scheduler message sequence it belongs
-// to.
-type pushJob struct {
-	tensors []int
-	seq     int
-}
-
-// pushParams carries the probe context of one worker's pushSends call.
-// obs is nil in unobserved runs, and the other fields are only read when
-// it is not. inline selects the mux dispatch path (no writer goroutines).
-type pushParams struct {
-	worker int
-	sizes  []float64
-	labels []string
-	obs    probe.Observer
-	clock  func() float64
-	inline bool
-}
-
 // pushLabels renders the per-tensor span labels ("push[t7]") without fmt:
 // the table is built once per worker, and at 1000+ workers Sprintf's
 // reflection path was a measurable slice of construction time.
@@ -928,6 +853,28 @@ func pushLabels(n int) []string {
 		labels[idx] = string(buf)
 	}
 	return labels
+}
+
+// transportVolume returns the wire bytes a transport moves per payload
+// byte: 1 for the parameter server, Σ ChunkBytes(1, W) for a collective
+// backend (2(W−1)/W for both ring and tree) — the divisor the simulator's
+// collectiveMonitor applies to Prophet's bandwidth estimate.
+func transportVolume(transport string, workers int) float64 {
+	if transport == "ps" {
+		return 1
+	}
+	be, err := drive.BackendByName(transport)
+	if err != nil {
+		return 1 // validate resolved the name already; unreachable
+	}
+	total := 0.0
+	for _, c := range be.ChunkBytes(1, workers, nil) {
+		total += c
+	}
+	if total <= 0 {
+		return 1
+	}
+	return total
 }
 
 // tensorSizes returns the model's per-tensor byte sizes (float64 elements),

@@ -1,0 +1,288 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prophet/internal/probe"
+	"prophet/internal/ps"
+)
+
+// liveEngine is the pluggable wire engine beneath the drive layer: the
+// worker loop decides *what* to send (the scheduler, replayed through a
+// drive.Driver) and the engine decides *how* the bytes move and how the
+// aggregated gradients come back. Two implementations exist: psEngine
+// (sharded parameter server over dedicated or multiplexed connections —
+// the paper's testbed) and collectiveEngine (peer-to-peer ring/tree chunk
+// exchange, see internal/collective). Probe span emission for the wire
+// lives behind the engine too, so both transports produce the event
+// stream the SpanRecorder and the attribution analyzer expect.
+//
+// An engine instance belongs to one worker goroutine; Bind attaches the
+// worker's probe context before the first Dispatch.
+type liveEngine interface {
+	// Bind attaches the worker's tables and probe context. Called once,
+	// before any Dispatch.
+	Bind(pp pushParams)
+	// Lanes is the driver's dispatch-lane count (PS: the shard count;
+	// collective: 1, matching the simulator's single serial link).
+	Lanes() int
+	// LaneOf maps a tensor to its lane; nil when Lanes() == 1.
+	LaneOf() func(int) int
+	// Dispatch executes one iteration's decided sends on the wire, in
+	// decision order, under the cross-shard priority gate. grad returns
+	// tensor t's gradient data (valid until the iteration ends).
+	Dispatch(iter int, grad func(int) []float64, sends []wireSend) error
+	// Await blocks until tensor idx's aggregated gradient of iteration
+	// iter is back on the worker, returning the data and the wall-clock
+	// ack time. The buffer is the engine's; hand it back via Recycle once
+	// copied out.
+	Await(iter, idx int, timeout time.Duration) ([]float64, time.Time, error)
+	// Recycle returns an Await buffer to the engine's pool.
+	Recycle(buf []float64)
+}
+
+// planner is the optional second face of an engine whose transport needs
+// every worker to execute the *same* decision sequence in lockstep (the
+// collective exchange: ops are synchronous and order-sensitive). One
+// worker decides and publishes; the rest execute the published plan. The
+// PS engine does not implement it — the server aggregates per tensor, so
+// workers may decide independently.
+type planner interface {
+	// Decides reports whether this worker runs the scheduler itself.
+	Decides() bool
+	// Publish makes the deciding worker's iteration plan available to the
+	// followers.
+	Publish(iter int, sends []wireSend)
+	// Plan blocks until the deciding worker published iteration iter.
+	Plan(iter int) ([]wireSend, error)
+}
+
+// psEngine executes decided sends against the sharded parameter server:
+// push + inline pull-request batches per shard (PushPullBatch), responses
+// awaited per tensor. It carries the pushSends/pushSendsInline dispatch
+// paths that predate the engine seam.
+type psEngine struct {
+	client  *ps.ShardedClient
+	metrics *probe.Metrics
+	// inline selects the mux dispatch path: the shared per-shard
+	// connection serializes writes anyway, so per-shard writer goroutines
+	// buy nothing.
+	inline bool
+
+	pp    pushParams
+	chans []<-chan ps.PullResult
+}
+
+func newPSEngine(client *ps.ShardedClient, metrics *probe.Metrics, inline bool) *psEngine {
+	return &psEngine{client: client, metrics: metrics, inline: inline}
+}
+
+// Bind implements liveEngine.
+func (e *psEngine) Bind(pp pushParams) {
+	e.pp = pp
+	e.chans = make([]<-chan ps.PullResult, len(pp.sizes))
+}
+
+// Lanes implements liveEngine.
+func (e *psEngine) Lanes() int { return e.client.Shards() }
+
+// LaneOf implements liveEngine.
+func (e *psEngine) LaneOf() func(int) int { return e.client.ShardOf }
+
+// Dispatch implements liveEngine: it executes the decided sends under the
+// cross-shard priority gate. One writer goroutine per shard performs the
+// actual wire calls; the coordinator hands each send's tensor group to its
+// shard writer over an unbuffered channel, so a handoff completes only
+// when the writer has accepted (started) the group. All of send k's
+// tensors are therefore started before any tensor of send k+1 is offered —
+// no shard starts a lower-priority message while a higher-priority one has
+// undispatched tensors — while sends of one scheduler message flow in
+// parallel on their shard links (the driver queues a message's per-shard
+// sub-sends back-to-back).
+//
+// A shard writer flushes all tensors of one send — plus their inline pull
+// requests — as ONE buffered write (ps.Client.PushPullBatch): the live
+// analogue of the simulator's message granularity, and the Parameter-Box
+// batched wire format. Strategies whose messages complete one tensor at a
+// time (FIFO, credit slices) degenerate to one push+pull-request pair per
+// flush; Prophet blocks ship all their tensors in a single write.
+func (e *psEngine) Dispatch(iter int, grad func(int) []float64, sends []wireSend) error {
+	if e.inline {
+		return e.dispatchInline(iter, grad, sends)
+	}
+	pp := &e.pp
+	client, chans := e.client, e.chans
+	shards := client.Shards()
+	jobs := make([]chan pushJob, shards)
+	errs := make([]error, shards)
+	// depths[s] counts tensors handed to shard s's writer and not yet
+	// picked up — the live analogue of the driver's lane queue depth.
+	depths := make([]atomic.Int64, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		jobs[s] = make(chan pushJob)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			// deliver runs inside PushPullBatch before any byte is written;
+			// tensor indices are distinct across writers, so no two writers
+			// race on a chans slot.
+			deliver := func(t int, ch <-chan ps.PullResult) { chans[t] = ch }
+			var ranges []probe.Range // reused scratch; observers copy
+			for job := range jobs[s] {
+				depths[s].Add(-int64(len(job.tensors)))
+				if errs[s] != nil {
+					continue // keep draining so the coordinator never blocks
+				}
+				if pp.obs != nil {
+					// One span per flushed batch, carrying a range per
+					// tensor — the same multi-range message shape the
+					// simulator's driver emits. Single-tensor sends keep
+					// the historical one-span-per-push granularity.
+					ranges = ranges[:0]
+					var total float64
+					for _, idx := range job.tensors {
+						ranges = append(ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
+						total += pp.sizes[idx]
+					}
+					first := job.tensors[0]
+					pp.obs.SendStart(pp.worker, s, job.seq, iter, first, pp.labels[first], total, ranges, pp.clock())
+				}
+				if err := client.Shard(s).PushPullBatch(iter, job.tensors, grad, deliver); err != nil {
+					errs[s] = fmt.Errorf("push batch %v (shard %d): %w", job.tensors, s, err)
+					continue
+				}
+				if pp.obs != nil {
+					pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
+				}
+			}
+		}(s)
+	}
+	for seq, snd := range sends {
+		if len(snd.tensors) == 0 {
+			continue
+		}
+		d := depths[snd.lane].Add(int64(len(snd.tensors)))
+		if pp.obs != nil {
+			base := int(d) - len(snd.tensors)
+			for i, idx := range snd.tensors {
+				pp.obs.ShardEnqueued(pp.worker, snd.lane, seq, idx, pp.sizes[idx], base+i+1, pp.clock())
+			}
+		}
+		// The tensors slice is handed to the writer as-is; the collector
+		// that owns it is not reset until after wg.Wait below.
+		jobs[snd.lane] <- pushJob{tensors: snd.tensors, seq: seq}
+	}
+	for s := 0; s < shards; s++ {
+		close(jobs[s])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// dispatchInline is Dispatch for the mux transport: the worker dispatches
+// each send itself, in decision order. The cross-shard priority gate holds
+// trivially (send k's batch returns before send k+1 is offered), and the
+// probe event stream keeps the exact shape of the goroutine path:
+// ShardEnqueued per tensor, one SendStart span per flushed batch,
+// SendComplete on return.
+func (e *psEngine) dispatchInline(iter int, grad func(int) []float64, sends []wireSend) error {
+	pp := &e.pp
+	deliver := func(t int, ch <-chan ps.PullResult) { e.chans[t] = ch }
+	var ranges []probe.Range // reused scratch; observers copy
+	for seq, snd := range sends {
+		if len(snd.tensors) == 0 {
+			continue
+		}
+		s := snd.lane
+		if pp.obs != nil {
+			ranges = ranges[:0]
+			var total float64
+			for i, idx := range snd.tensors {
+				// Inline dispatch never queues: depth is just the position
+				// within this send's own batch.
+				pp.obs.ShardEnqueued(pp.worker, s, seq, idx, pp.sizes[idx], i+1, pp.clock())
+				ranges = append(ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
+				total += pp.sizes[idx]
+			}
+			first := snd.tensors[0]
+			pp.obs.SendStart(pp.worker, s, seq, iter, first, pp.labels[first], total, ranges, pp.clock())
+		}
+		if err := e.client.Shard(s).PushPullBatch(iter, snd.tensors, grad, deliver); err != nil {
+			return fmt.Errorf("push batch %v (shard %d): %w", snd.tensors, s, err)
+		}
+		if pp.obs != nil {
+			pp.obs.SendComplete(pp.worker, s, iter, true, pp.clock())
+		}
+	}
+	return nil
+}
+
+// Await implements liveEngine: it waits for tensor idx's aggregated pull
+// response, emitting the PullAcked probe event on arrival.
+func (e *psEngine) Await(iter, idx int, timeout time.Duration) ([]float64, time.Time, error) {
+	agg, err := awaitPull(e.chans[idx], timeout)
+	if err != nil {
+		if errors.Is(err, ps.ErrPullTimeout) {
+			e.metrics.Counter("emu_pull_timeouts").Inc()
+		}
+		return nil, time.Time{}, err
+	}
+	acked := time.Now()
+	if e.pp.obs != nil {
+		e.pp.obs.PullAcked(e.pp.worker, idx, iter, e.pp.clock())
+	}
+	return agg, acked, nil
+}
+
+// Recycle implements liveEngine.
+func (e *psEngine) Recycle(buf []float64) { e.client.Recycle(buf) }
+
+// awaitPull waits for one pull result with an optional timeout.
+func awaitPull(ch <-chan ps.PullResult, timeout time.Duration) ([]float64, error) {
+	if timeout <= 0 {
+		r, ok := <-ch
+		return pullOutcome(r, ok)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r, ok := <-ch:
+		return pullOutcome(r, ok)
+	case <-timer.C:
+		return nil, fmt.Errorf("%w after %v", ps.ErrPullTimeout, timeout)
+	}
+}
+
+func pullOutcome(r ps.PullResult, ok bool) ([]float64, error) {
+	if !ok {
+		return nil, fmt.Errorf("%w: channel closed", ps.ErrConnLost)
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r.Data, nil
+}
+
+// pushJob is one send's tensor group handed to a shard writer, flushed as
+// a single batched write, plus the scheduler message sequence it belongs
+// to.
+type pushJob struct {
+	tensors []int
+	seq     int
+}
+
+// pushParams carries the probe context of one worker's engine: obs is nil
+// in unobserved runs, and labels is only populated when it is not. sizes
+// and labels point into the run's shared read-only workerTables.
+type pushParams struct {
+	worker int
+	sizes  []float64
+	labels []string
+	obs    probe.Observer
+	clock  func() float64
+}

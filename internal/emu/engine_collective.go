@@ -1,0 +1,298 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"prophet/internal/collective"
+	"prophet/internal/probe"
+)
+
+// planBoard distributes the deciding worker's per-iteration send plans to
+// the followers. Collective ops are synchronous and order-sensitive, so
+// every worker must execute the identical decision sequence — the live
+// analogue of the simulator's single worker-0 timeline (allreduce.Run
+// drives one driver for the whole ring). Plans are retained for the run:
+// memory is O(iterations × sends), trivial next to the gradients.
+type planBoard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	plans [][]wireSend
+	ready []bool
+	err   error
+}
+
+func newPlanBoard(iterations int) *planBoard {
+	b := &planBoard{
+		plans: make([][]wireSend, iterations),
+		ready: make([]bool, iterations),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// publish stores iteration iter's plan. The entries are copied: the
+// deciding worker's collector reuses its sends array across iterations,
+// while the per-entry tensors slices are freshly built each decision and
+// safe to share.
+func (b *planBoard) publish(iter int, sends []wireSend) {
+	plan := append([]wireSend(nil), sends...)
+	b.mu.Lock()
+	b.plans[iter] = plan
+	b.ready[iter] = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// plan blocks until iteration iter's plan is published or the board fails.
+func (b *planBoard) plan(iter int) ([]wireSend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.ready[iter] {
+		if b.err != nil {
+			return nil, b.err
+		}
+		b.cond.Wait()
+	}
+	return b.plans[iter], nil
+}
+
+// fail wakes every follower waiting on a plan that will never arrive.
+func (b *planBoard) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil && err != nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// collectiveEngine is the liveEngine over a collective.Fabric peer: each
+// decided send becomes one lockstep all-reduce op carrying the full bytes
+// of the tensors it completes, played as the backend's chunk schedule on
+// the shared wire. The op completes on every worker simultaneously with
+// the aggregated (mean) gradient in place — there is no pull leg, so
+// PullAcked fires at the op's completion timestamp and the attribution
+// Ack component is exactly zero, matching the simulator's collective
+// invariant.
+//
+// The engine runs a single lane (the ring is itself a barrier; the
+// simulator models it as one serial link) and implements planner: worker
+// 0 decides, everyone executes worker 0's plan.
+type collectiveEngine struct {
+	peer    *collective.Peer
+	board   *planBoard
+	decides bool
+
+	pp      pushParams
+	stepObs probe.StepObserver
+	stepFn  collective.StepFunc
+	curSeq  int
+
+	// agg[t] views tensor t's slice of its op buffer between Dispatch and
+	// Await; acked[t] is the op's wall-clock completion. Op buffers cycle
+	// through free across iterations — Await hands out borrowed views and
+	// Recycle is a no-op, since the next Dispatch reclaims everything.
+	agg    [][]float64
+	acked  []time.Time
+	bufs   [][]float64
+	free   [][]float64
+	ranges []probe.Range // reused scratch; observers copy
+}
+
+func newCollectiveEngine(peer *collective.Peer, board *planBoard, decides bool) *collectiveEngine {
+	return &collectiveEngine{peer: peer, board: board, decides: decides}
+}
+
+// Bind implements liveEngine.
+func (e *collectiveEngine) Bind(pp pushParams) {
+	e.pp = pp
+	n := len(pp.sizes)
+	e.agg = make([][]float64, n)
+	e.acked = make([]time.Time, n)
+	if so, ok := pp.obs.(probe.StepObserver); ok {
+		e.stepObs = so
+		e.stepFn = e.emitStep
+	}
+}
+
+// Lanes implements liveEngine: one serial lane, like the simulator's
+// collective driver (drive.New(..., 1, n, nil)).
+func (e *collectiveEngine) Lanes() int { return 1 }
+
+// LaneOf implements liveEngine.
+func (e *collectiveEngine) LaneOf() func(int) int { return nil }
+
+// Decides implements planner.
+func (e *collectiveEngine) Decides() bool { return e.decides }
+
+// Publish implements planner.
+func (e *collectiveEngine) Publish(iter int, sends []wireSend) { e.board.publish(iter, sends) }
+
+// Plan implements planner.
+func (e *collectiveEngine) Plan(iter int) ([]wireSend, error) { return e.board.plan(iter) }
+
+func (e *collectiveEngine) emitStep(step, steps int, bytes float64, start, end float64) {
+	e.stepObs.SendStep(e.pp.worker, 0, e.curSeq, step, steps, bytes, start, end)
+}
+
+// Dispatch implements liveEngine: each send with completing tensors runs
+// as one all-reduce over their concatenated gradients. Sends that complete
+// nothing (partial credit slices mid-tensor) move no wire bytes — the live
+// protocol ships whole tensors with their completing piece, on every
+// transport — and are skipped identically by all workers.
+func (e *collectiveEngine) Dispatch(iter int, grad func(int) []float64, sends []wireSend) error {
+	e.free = append(e.free, e.bufs...)
+	e.bufs = e.bufs[:0]
+	pp := &e.pp
+	for seq, snd := range sends {
+		if len(snd.tensors) == 0 {
+			continue
+		}
+		elems := 0
+		for _, t := range snd.tensors {
+			elems += len(grad(t))
+		}
+		buf := e.takeBuf(elems)
+		off := 0
+		for _, t := range snd.tensors {
+			off += copy(buf[off:], grad(t))
+		}
+		if pp.obs != nil {
+			e.ranges = e.ranges[:0]
+			var total float64
+			for i, idx := range snd.tensors {
+				pp.obs.ShardEnqueued(pp.worker, 0, seq, idx, pp.sizes[idx], i+1, pp.clock())
+				e.ranges = append(e.ranges, probe.Range{Grad: idx, Bytes: pp.sizes[idx], Last: true})
+				total += pp.sizes[idx]
+			}
+			first := snd.tensors[0]
+			pp.obs.SendStart(pp.worker, 0, seq, iter, first, pp.labels[first], total, e.ranges, pp.clock())
+		}
+		e.curSeq = seq
+		if err := e.peer.AllReduce(iter, buf, e.stepFn); err != nil {
+			return fmt.Errorf("collective op %v: %w", snd.tensors, err)
+		}
+		ackWall := time.Now()
+		done := pp.clock()
+		if pp.obs != nil {
+			pp.obs.SendComplete(pp.worker, 0, iter, true, done)
+		}
+		off = 0
+		for _, t := range snd.tensors {
+			n := len(grad(t))
+			e.agg[t] = buf[off : off+n]
+			e.acked[t] = ackWall
+			off += n
+			if pp.obs != nil {
+				// Same timestamp as the op's completion: the reduced value
+				// is on the worker the moment the collective finishes, so
+				// Ack = Acked − End is exactly zero (the simulator's
+				// collectiveTx invariant).
+				pp.obs.PullAcked(pp.worker, t, iter, done)
+			}
+		}
+	}
+	return nil
+}
+
+// Await implements liveEngine: collective ops complete inside Dispatch, so
+// the aggregated gradient is already in place.
+func (e *collectiveEngine) Await(iter, idx int, timeout time.Duration) ([]float64, time.Time, error) {
+	buf := e.agg[idx]
+	if buf == nil {
+		return nil, time.Time{}, fmt.Errorf("collective: tensor %d was not reduced in iteration %d", idx, iter)
+	}
+	e.agg[idx] = nil
+	return buf, e.acked[idx], nil
+}
+
+// Recycle implements liveEngine: Await hands out views into op buffers,
+// which the next Dispatch reclaims wholesale.
+func (e *collectiveEngine) Recycle([]float64) {}
+
+func (e *collectiveEngine) takeBuf(n int) []float64 {
+	for i := len(e.free) - 1; i >= 0; i-- {
+		if cap(e.free[i]) >= n {
+			buf := e.free[i][:n]
+			e.free[i] = e.free[len(e.free)-1]
+			e.free[len(e.free)-1] = nil
+			e.free = e.free[:len(e.free)-1]
+			e.bufs = append(e.bufs, buf)
+			return buf
+		}
+	}
+	buf := make([]float64, n)
+	e.bufs = append(e.bufs, buf)
+	return buf
+}
+
+// runCollective is Run's collective-transport body: no parameter servers —
+// a collective.Fabric connects the workers, worker 0 decides, and every
+// worker executes the plan in lockstep. Any worker error (or the deadline)
+// tears the fabric down, which unblocks every peer mid-exchange; the
+// first cause is reported.
+func runCollective(cfg Config, pullTimeout time.Duration, clock func() float64) (*Result, error) {
+	fab, err := collective.New(cfg.Transport, cfg.Workers, cfg.BandwidthBytesPerSec, collective.Options{
+		Metrics: cfg.Metrics,
+		Clock:   clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("emu: %w", err)
+	}
+	board := newPlanBoard(cfg.Iterations)
+
+	var fatalMu sync.Mutex
+	var fatalErr error
+	abort := func(cause error) {
+		fatalMu.Lock()
+		if fatalErr == nil && cause != nil {
+			fatalErr = cause
+		}
+		fatalMu.Unlock()
+		board.fail(cause)
+		fab.Close()
+	}
+	if cfg.Deadline > 0 {
+		watchdog := time.AfterFunc(cfg.Deadline, func() {
+			abort(fmt.Errorf("emu: run exceeded deadline %v (transport %s)", cfg.Deadline, cfg.Transport))
+		})
+		defer watchdog.Stop()
+	}
+
+	tables := newWorkerTables(&cfg)
+	res := &Result{}
+	workerErrs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		eng := newCollectiveEngine(fab.Peer(w), board, w == 0)
+		wg.Add(1)
+		go func(w int, eng *collectiveEngine) {
+			defer wg.Done()
+			if err := runWorker(w, cfg, pullTimeout, eng, tables, res, clock); err != nil {
+				workerErrs[w] = err
+				// Lockstep peers are blocked mid-exchange on this worker:
+				// tear the fabric down so they fail instead of hanging.
+				abort(err)
+			}
+		}(w, eng)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	fab.Close()
+
+	fatalMu.Lock()
+	fatal := fatalErr
+	fatalMu.Unlock()
+	if fatal != nil {
+		return nil, fatal
+	}
+	for _, err := range workerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,65 @@
+package emu
+
+import (
+	"testing"
+
+	"prophet/internal/probe"
+	"prophet/internal/probe/attrib"
+)
+
+// TestCollectiveAckIsZero pins the collective transports' attribution
+// invariant on the live wire: a collective op leaves the aggregated
+// gradient on every worker the instant it completes — there is no pull
+// leg — so the engine emits PullAcked with the op's own completion
+// timestamp and the analyzer's Ack component (Acked − End) is exactly
+// zero, matching the simulator's collectiveTx. The same run must carry
+// the per-chunk step spans: every op on a 4-worker ring plays 2(W−1) = 6
+// chunk steps.
+func TestCollectiveAckIsZero(t *testing.T) {
+	for _, tc := range []struct {
+		transport string
+		steps     int
+	}{
+		{"ring", 6}, // 2(W−1)
+		{"tree", 4}, // 2·log₂W
+	} {
+		t.Run(tc.transport, func(t *testing.T) {
+			rec := probe.NewSpanRecorder()
+			cfg := baseConfig()
+			cfg.Workers = 4
+			cfg.Iterations = 4
+			cfg.Transport = tc.transport
+			cfg.Observer = rec
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+
+			rep := attrib.Analyze(rec, 3)
+			if res := rep.MaxResidual(); res > 1e-9 {
+				t.Fatalf("attribution residual %g, want ~0", res)
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				m := rep.Mean(w, 1)
+				if m.Ack != 0 {
+					t.Fatalf("worker %d mean Ack = %g, want exactly 0 for collective ops", w, m.Ack)
+				}
+				if m.Completion <= 0 {
+					t.Fatalf("worker %d has no completion mass — analyzer saw no gradients", w)
+				}
+			}
+
+			steps := rec.Steps()
+			if len(steps) == 0 {
+				t.Fatal("no collective step spans recorded")
+			}
+			for _, s := range steps {
+				if s.Steps != tc.steps {
+					t.Fatalf("step span reports %d steps/op, want %d", s.Steps, tc.steps)
+				}
+				if s.End < s.Start {
+					t.Fatalf("step span ends before it starts: %+v", s)
+				}
+			}
+		})
+	}
+}

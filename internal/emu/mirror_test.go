@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"prophet/internal/allreduce"
 	"prophet/internal/cluster"
 	"prophet/internal/core"
 	"prophet/internal/drive"
@@ -134,6 +135,114 @@ func TestMirrorBothPathsSameDecisions(t *testing.T) {
 			}
 			compareRecords(t, simRes.Messages, muxRes.Messages)
 		})
+	}
+}
+
+// TestMirrorCollectiveTransports closes the mirror over the collective
+// wire: the discrete-event collective simulator (allreduce.Run playing
+// chunk schedules on a netsim link) and the live collective emulation
+// (real ring/tree exchanges over sockets, worker 0 deciding for the
+// lockstep group) must produce bit-identical decision Records for every
+// registered strategy on both the ring and the tree backend.
+//
+// The pinning mirrors TestMirrorBothPathsSameDecisions, with two
+// collective-specific alignments:
+//
+//   - The simulator's release loop walks an aggregation group in reverse,
+//     so a single *ascending* bucket yields one burst of OnGenerated calls
+//     in descending order — the live path's backward emission. Releasing
+//     at segment 0 (the last backward segment) matches the emulation's
+//     generate-everything-then-drain replay (emu's decide() bursts all
+//     events before its single Pump).
+//   - Prophet's wire model: the simulator's collectiveMonitor divides the
+//     link estimate by the backend's chunk volume Σ ChunkBytes(1, W) and
+//     charges steps×setup overhead; the explicit zero-setup/zero-ramp link
+//     keeps the overhead at zero and the monitor pinned to the trace (all
+//     transfers sit under its sampling floor), while the emulation divides
+//     BandwidthBytesPerSec by the identical transportVolume — both
+//     planners see exactly 1 GB/s ÷ 2(W−1)/W.
+func TestMirrorCollectiveTransports(t *testing.T) {
+	const (
+		seed    = uint64(5)
+		iters   = 4
+		workers = 4 // power of two so the tree schedule applies
+		bw      = 1e9
+	)
+	layers := []int{8, 16, 4}
+	sizes := []float64{1024, 128, 512, 32}
+	n := len(sizes)
+
+	gen := make([]float64, n)
+	for i := range gen {
+		gen[i] = float64(n - i)
+	}
+	prof, err := core.NewProfile(gen, sizes, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grads := make([]model.Gradient, n)
+	asc := make([]int, n)
+	for i, b := range sizes {
+		grads[i] = model.Gradient{
+			Index: i,
+			Layer: fmt.Sprintf("t%d", i),
+			Elems: int64(b) / model.BytesPerParam,
+		}
+		asc[i] = i
+	}
+	simModel := &model.Model{Name: "mirror-mlp", Grads: grads, Efficiency: 1}
+
+	for _, backend := range []string{"ring", "tree"} {
+		for _, name := range strategy.Names() {
+			t.Run(backend+"/"+name, func(t *testing.T) {
+				factory, err := cluster.ByNameTransport(name, backend, workers, simModel, cluster.Options{
+					Seed:    seed,
+					Profile: prof,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				simRes, err := allreduce.Run(allreduce.Config{
+					Model:    simModel,
+					Hardware: model.Hardware{FLOPS: 1e12, LayerOverhead: 1.0},
+					Batch:    32,
+					Workers:  workers,
+					// One ascending bucket: released in reverse, i.e. the
+					// emulation's descending backward emission, in one burst.
+					Agg:            stepwise.Buckets{Groups: [][]int{asc}},
+					Link:           netsim.LinkConfig{Trace: netsim.Const(bw)},
+					Backend:        backend,
+					Scheduler:      factory,
+					Iterations:     iters,
+					Jitter:         -1,
+					Seed:           seed,
+					RecordMessages: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				emuRes, err := emu.Run(emu.Config{
+					Workers:              workers,
+					Layers:               layers,
+					Dataset:              nn.Blobs(256, 8, 4, 11),
+					Batch:                32,
+					Iterations:           iters,
+					LR:                   0.1,
+					Policy:               name,
+					Profile:              prof,
+					Transport:            backend,
+					BandwidthBytesPerSec: bw,
+					Seed:                 seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				compareRecords(t, simRes.Messages, emuRes.Messages)
+			})
+		}
 	}
 }
 

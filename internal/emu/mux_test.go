@@ -4,9 +4,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"prophet/internal/core"
 	"prophet/internal/fault"
+	"prophet/internal/probe"
 	"prophet/internal/strategy"
 )
 
@@ -95,12 +97,124 @@ func TestMuxManyWorkers(t *testing.T) {
 	}
 }
 
-func TestMuxRejectsFaults(t *testing.T) {
+// TestMuxRejectsThrottleFaults pins the surviving half of the old blanket
+// Mux+Faults rejection: per-worker rate shaping has no private connection
+// to wrap on a shared pipe, so it is still refused — but only it.
+func TestMuxRejectsThrottleFaults(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Mux = true
-	cfg.Faults = map[int]fault.Spec{0: fault.DropAt(64)}
+	cfg.Faults = map[int]fault.Spec{0: fault.Throttle(1 << 10)}
 	_, err := Run(cfg)
-	if err == nil || !strings.Contains(err.Error(), "fault injection") {
-		t.Fatalf("Mux+Faults accepted (err %v), want rejection", err)
+	if err == nil || !strings.Contains(err.Error(), "throttle") {
+		t.Fatalf("Mux+Throttle accepted (err %v), want rejection", err)
+	}
+}
+
+// TestMuxComposesByteOffsetFaults proves byte-offset injectors now run
+// under Mux, composed on the shared per-shard pipe. A short stall
+// completes the run (the fault fires, training finishes); a connection
+// drop fails it cleanly under fail-fast instead of being rejected up
+// front.
+func TestMuxComposesByteOffsetFaults(t *testing.T) {
+	t.Run("stall-completes", func(t *testing.T) {
+		rec := probe.NewSpanRecorder()
+		cfg := baseConfig()
+		cfg.Mux = true
+		cfg.Iterations = 2
+		cfg.Observer = rec
+		cfg.Faults = map[int]fault.Spec{0: fault.StallAt(256, 30*time.Millisecond)}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("stall under mux: %v", err)
+		}
+		if len(res.Losses) != cfg.Iterations {
+			t.Fatalf("recorded %d losses, want %d", len(res.Losses), cfg.Iterations)
+		}
+		faults := rec.Faults()
+		if len(faults) == 0 {
+			t.Fatal("stall injector never fired on the shared pipe")
+		}
+		if faults[0].Worker != 0 {
+			t.Fatalf("fault attributed to worker %d, want 0", faults[0].Worker)
+		}
+	})
+	t.Run("drop-fails-fast", func(t *testing.T) {
+		cfg := baseConfig()
+		cfg.Mux = true
+		cfg.Faults = map[int]fault.Spec{0: fault.DropAt(64)}
+		_, err := Run(cfg)
+		if err == nil {
+			t.Fatal("dropped shared pipe completed, want failure")
+		}
+		if strings.Contains(err.Error(), "fault injection") {
+			t.Fatalf("drop fault rejected at validation (%v), want it to run", err)
+		}
+	})
+}
+
+// TestLiveTransportConformance is the full strategy × transport table: every
+// registry strategy runs over the dedicated PS sockets, the multiplexed PS
+// pipe, the live ring, and the live tree. Scheduling decisions replay
+// before any byte moves and (with no bandwidth hint) contain no wire-model
+// input, so the decision log and push order must be bit-identical across
+// all four transports; the training trajectory must additionally match
+// between the two PS wire variants (same aggregation arithmetic — the
+// collective's fixed ring/recursive reduction order is a different
+// float-addition order and is excluded by design).
+func TestLiveTransportConformance(t *testing.T) {
+	cells := []struct {
+		key       string
+		transport string
+		mux       bool
+	}{
+		{"ps", "ps", false},
+		{"ps-mux", "ps", true},
+		{"ring", "ring", false},
+		{"tree", "tree", false},
+	}
+	for _, name := range strategy.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			results := make(map[string]*Result, len(cells))
+			for _, c := range cells {
+				cfg := muxConformanceConfig(t, name)
+				cfg.Workers = 4 // tree wants a power of two
+				cfg.Transport = c.transport
+				cfg.Mux = c.mux
+				// One lane everywhere: a multi-tensor message splits into
+				// per-shard sub-sends, which permutes the flattened push
+				// order relative to the collective's single lane without
+				// any decision diverging (TestMuxConformance covers the
+				// sharded PS table).
+				cfg.Shards = 1
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", c.key, err)
+				}
+				results[c.key] = res
+			}
+			ref := results["ps"]
+			if len(ref.Messages) == 0 {
+				t.Fatal("ps run recorded no decisions")
+			}
+			for _, c := range cells[1:] {
+				res := results[c.key]
+				if !reflect.DeepEqual(ref.Messages, res.Messages) {
+					t.Fatalf("decision logs diverged: ps vs %s:\n%v\n%v", c.key, ref.Messages, res.Messages)
+				}
+				if !reflect.DeepEqual(ref.PushOrder, res.PushOrder) {
+					t.Fatalf("push order diverged: ps %v, %s %v", ref.PushOrder, c.key, res.PushOrder)
+				}
+				if len(res.Losses) != len(ref.Losses) {
+					t.Fatalf("%s recorded %d losses, want %d", c.key, len(res.Losses), len(ref.Losses))
+				}
+			}
+			if !reflect.DeepEqual(ref.FinalParams, results["ps-mux"].FinalParams) {
+				t.Fatal("final parameters diverged between PS wire variants")
+			}
+			if !reflect.DeepEqual(ref.Losses, results["ps-mux"].Losses) {
+				t.Fatal("loss curves diverged between PS wire variants")
+			}
+		})
 	}
 }

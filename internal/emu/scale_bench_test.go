@@ -73,16 +73,24 @@ func BenchmarkEmu_Scale(b *testing.B) {
 	points := []struct {
 		workers, shards int
 		mux             bool
+		transport       string // "" = parameter server
 	}{
-		{8, 1, true}, {8, 4, true},
-		{64, 4, false}, // unmuxed reference: goroutines ∝ workers×shards
-		{64, 1, true}, {64, 4, true},
-		{256, 1, true}, {256, 4, true},
-		{1000, 1, true}, {1000, 4, true},
+		{8, 1, true, ""}, {8, 4, true, ""},
+		{64, 4, false, ""}, // unmuxed reference: goroutines ∝ workers×shards
+		{64, 1, true, ""}, {64, 4, true, ""},
+		// Live collective at the same scale as the 64-worker PS rows: the
+		// ring's fabric is one shared pipe regardless of W, so its goroutine
+		// and RSS columns are directly comparable to the mux PS transport.
+		{64, 1, false, "ring"},
+		{256, 1, true, ""}, {256, 4, true, ""},
+		{1000, 1, true, ""}, {1000, 4, true, ""},
 	}
 	for _, p := range points {
 		transport := "mux"
-		if !p.mux {
+		switch {
+		case p.transport != "":
+			transport = p.transport
+		case !p.mux:
 			transport = "conns"
 		}
 		b.Run(fmt.Sprintf("w%d_s%d_%s", p.workers, p.shards, transport), func(b *testing.B) {
@@ -90,6 +98,7 @@ func BenchmarkEmu_Scale(b *testing.B) {
 			cfg.Workers = p.workers
 			cfg.Shards = p.shards
 			cfg.Mux = p.mux
+			cfg.Transport = p.transport
 			cfg.Batch = 16
 			cfg.Iterations = 2
 			cfg.Policy = "fifo"

@@ -127,6 +127,7 @@ func All() []Spec {
 		{"ext-attrib", "extension", "Stall attribution: completion-time decomposition per strategy", func(c Config) (Result, error) { return ExtAttrib(c) }},
 		{"ext-transport", "extension", "Pluggable transports under the drive layer: PS vs ring vs tree, with attribution", func(c Config) (Result, error) { return ExtTransport(c) }},
 		{"ext-scale", "extension", "Shared-connection mux: decision/trajectory equivalence plus a worker-count sweep", func(c Config) (Result, error) { return ExtScale(c) }},
+		{"ext-live-transport", "extension", "Live wire engines over real sockets: PS (dedicated/mux) vs ring/tree collective, with attribution", func(c Config) (Result, error) { return ExtLiveTransport(c) }},
 	}
 }
 

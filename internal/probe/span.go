@@ -88,6 +88,7 @@ type SpanRecorder struct {
 	rFree  [][]Range
 
 	iterHint int
+	volHint  int
 }
 
 // NewSpanRecorder returns an empty recorder.
@@ -148,6 +149,19 @@ func (r *SpanRecorder) EndIteration(worker, iter int, now float64) {
 func (r *SpanRecorder) SetIterationHint(n int) {
 	r.mu.Lock()
 	r.iterHint = n
+	r.mu.Unlock()
+}
+
+// SetVolumeHint tells the recorder how many transfers each worker will
+// record (≈ iterations × gradients) across workers workers, pre-sizing the
+// per-worker rate series and the shared transfer log the same way
+// SetIterationHint pre-sizes the iteration logs. Zero keeps append growth.
+func (r *SpanRecorder) SetVolumeHint(perWorker, workers int) {
+	r.mu.Lock()
+	r.volHint = perWorker
+	if perWorker > 0 && workers > 0 {
+		r.transfers.Grow(perWorker * workers)
+	}
 	r.mu.Unlock()
 }
 
@@ -212,6 +226,7 @@ func (r *SpanRecorder) SendComplete(worker, lane, iter int, msgDone bool, now fl
 	rt, ok := r.rates[worker]
 	if !ok {
 		rt = &metrics.RateSeries{}
+		rt.Grow(r.volHint)
 		r.rates[worker] = rt
 	}
 	rt.Add(o.start, now, o.bytes)

@@ -404,8 +404,16 @@ func (mw *MuxWorker) deregister(k slotKey) {
 	mw.mu.Unlock()
 }
 
-// Push sends a gradient tensor on this worker's stream.
+// Push sends a gradient tensor on this worker's stream. A closed worker's
+// stream rejects the push: the shared connection is still live, and a
+// stray push would count toward the server's per-iteration aggregation.
 func (mw *MuxWorker) Push(iter, tensor int, data []float64) error {
+	mw.mu.Lock()
+	closed := mw.closed
+	mw.mu.Unlock()
+	if closed {
+		return net.ErrClosed
+	}
 	return mw.g.mc.SendFloats(mw.stream, transport.Push, uint32(iter), uint32(tensor), data)
 }
 
@@ -497,8 +505,9 @@ func (mw *MuxWorker) Pull(iter, tensor int) ([]float64, error) {
 func (mw *MuxWorker) Recycle(data []float64) { floats.put(data) }
 
 // Close is worker-local: it fails this worker's pending pulls and rejects
-// new ones, leaving the shared connection (and the group's other workers)
-// untouched. Close the MuxGroup to tear down the connection itself.
+// new pulls and pushes, leaving the shared connection (and the group's
+// other workers) untouched. Close the MuxGroup to tear down the
+// connection itself.
 func (mw *MuxWorker) Close() error {
 	mw.mu.Lock()
 	if mw.closed {

@@ -20,13 +20,15 @@ import (
 // MsgType labels a frame.
 type MsgType uint8
 
-// Frame types: a gradient push, a parameter pull request, its response, and
-// a flow-control credit grant (mux connections only, see mux.go).
+// Frame types: a gradient push, a parameter pull request, its response, a
+// flow-control credit grant (mux connections only, see mux.go), and one
+// chunk step of a peer-to-peer collective exchange (internal/collective).
 const (
 	Push MsgType = iota + 1
 	PullReq
 	PullResp
 	Credit
+	Chunk
 )
 
 func (t MsgType) String() string {
@@ -39,6 +41,8 @@ func (t MsgType) String() string {
 		return "pull-resp"
 	case Credit:
 		return "credit"
+	case Chunk:
+		return "chunk"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
