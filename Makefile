@@ -12,14 +12,15 @@ FUZZTIME ?= 10s
 
 # Per-package coverage floors (percent) for the scheduling core and the
 # live wire beneath it: the drive layer, the collective transports on top
-# of it (simulated and live), the strategy registry, and the PS + frame
-# transport packages the emulation runs over.
-COVER_PKGS  := ./internal/drive ./internal/allreduce ./internal/strategy ./internal/ps ./internal/transport ./internal/collective
+# of it (simulated and live), the strategy registry, the PS + frame
+# transport packages the emulation runs over, and the observability stack
+# (probe events, stall attribution, prediction audit).
+COVER_PKGS  := ./internal/drive ./internal/allreduce ./internal/strategy ./internal/ps ./internal/transport ./internal/collective ./internal/probe ./internal/probe/attrib ./internal/probe/predict
 COVER_FLOOR ?= 80
 
-.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json bench-scale fuzz trace-smoke conformance conformance-live cover
+.PHONY: check tier1 build vet test lint race bench bench-json bench-emu-json bench-scale fuzz trace-smoke conformance conformance-live cover predict-smoke
 
-check: tier1 lint race conformance conformance-live cover trace-smoke
+check: tier1 lint race conformance conformance-live cover trace-smoke predict-smoke
 
 tier1: build vet test
 
@@ -82,10 +83,13 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -count=1 -run '^$$' ./...
 
 # Machine-readable allocation benchmarks for the simulator hot loops; the
-# committed BENCH_sim.json is the reference the README quotes.
+# committed BENCH_sim.json is the reference the README quotes. Each file is
+# stamped with the commit and UTC date the numbers were measured at.
+BENCH_STAMP = -commit $$(git rev-parse --short HEAD) -date $$(date -u +%Y-%m-%d)
+
 bench-json:
 	$(GO) test -bench='Core_Assemble|Cluster_Iteration|SchedulePingPong' -benchmem -count=1 -run '^$$' \
-		. ./internal/sim | $(GO) run ./cmd/bench2json > BENCH_sim.json
+		. ./internal/sim | $(GO) run ./cmd/bench2json $(BENCH_STAMP) > BENCH_sim.json
 
 # Live-path counterpart: frame I/O micro-benches, PS round trips, the
 # whole-emulation BenchmarkEmu_Iteration, and the mux scaling sweep
@@ -94,12 +98,22 @@ bench-json:
 bench-emu-json:
 	$(GO) test -bench='FrameWrite|FrameWriter|FrameReader|DecodeFloatsInto|PS_PushPull|Emu_Iteration|Emu_Scale' \
 		-benchmem -count=1 -run '^$$' \
-		./internal/transport ./internal/ps ./internal/emu | $(GO) run ./cmd/bench2json > BENCH_emu.json
+		./internal/transport ./internal/ps ./internal/emu | $(GO) run ./cmd/bench2json $(BENCH_STAMP) > BENCH_emu.json
 
 # The scaling sweep alone, human-readable: worker counts 8→1000 over 1 and
 # 4 shards on the multiplexed transport, plus an unmuxed reference point.
 bench-scale:
 	$(GO) test -bench='Emu_Scale' -benchmem -benchtime=1x -count=1 -run '^$$' ./internal/emu
+
+# Prediction-audit gate: the planned-vs-observed residual invariant for
+# every strategy × {ps, ring, tree} under the race detector, plus a tiny
+# ext-predict run (drift must rise under a bandwidth dip, the seeded
+# throttle must alarm, the clean run must not — the experiment hard-fails
+# otherwise).
+predict-smoke:
+	$(GO) test -race -count=1 -run 'TestPredictionInvariant|TestPredictChaos' \
+		./internal/probe/predict ./internal/emu
+	$(GO) run ./cmd/prophet-bench -only ext-predict -quick
 
 # Short fixed-budget fuzzing smoke: each target gets $(FUZZTIME).
 fuzz:

@@ -4,16 +4,32 @@
 //
 // Only benchmark result lines and the `pkg:` headers that scope them are
 // consumed; everything else (ok/PASS lines, goos/goarch) is ignored.
+//
+// -commit and -date stamp the document with the provenance of the numbers
+// (the Makefile passes `git rev-parse` and the current UTC date); both are
+// plain strings so the output stays deterministic for tests.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// Doc is the output document: the provenance stamp plus every parsed
+// benchmark line.
+type Doc struct {
+	// Commit is the git commit the numbers were measured at.
+	Commit string `json:"commit,omitempty"`
+	// Date is the measurement date (UTC, YYYY-MM-DD).
+	Date       string  `json:"date,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
 
 // Bench is one parsed benchmark result line.
 type Bench struct {
@@ -31,21 +47,29 @@ type Bench struct {
 }
 
 func main() {
-	benches, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
+	var (
+		commit = flag.String("commit", "", "git commit SHA to stamp the document with")
+		date   = flag.String("date", "", "measurement date to stamp the document with (YYYY-MM-DD)")
+	)
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *commit, *date); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
+	}
+}
+
+// run converts bench text on r into the stamped JSON document on w.
+func run(r io.Reader, w io.Writer, commit, date string) error {
+	benches, err := parse(bufio.NewScanner(r))
+	if err != nil {
+		return err
 	}
 	if len(benches) == 0 {
-		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(benches); err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(Doc{Commit: commit, Date: date, Benchmarks: benches})
 }
 
 func parse(sc *bufio.Scanner) ([]Bench, error) {

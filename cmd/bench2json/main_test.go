@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: prophet/internal/sim
+BenchmarkCluster_Iteration-8   	     120	   9876543 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkEmu_Scale-8           	       4	 250000000 ns/op	  33.50 MB/s	 1048576 B/op	    4096 allocs/op	      87.0 goroutines	 5242880 peak-rss-bytes
+PASS
+ok  	prophet/internal/sim	2.345s
+`
+
+func TestRunStampsCommitAndDate(t *testing.T) {
+	var out strings.Builder
+	// The stamp is caller-supplied (the Makefile passes git/date output);
+	// nothing here may consult the clock, or the test would be flaky.
+	if err := run(strings.NewReader(benchText), &out, "abc1234", "2026-08-08"); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Commit != "abc1234" || doc.Date != "2026-08-08" {
+		t.Fatalf("stamp = (%q, %q), want (abc1234, 2026-08-08)", doc.Commit, doc.Date)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Package != "prophet/internal/sim" || b.Name != "BenchmarkCluster_Iteration" {
+		t.Errorf("bench[0] = %q %q, want prophet/internal/sim BenchmarkCluster_Iteration (GOMAXPROCS suffix stripped)", b.Package, b.Name)
+	}
+	if b.Iterations != 120 || b.NsPerOp != 9876543 || b.BytesPerOp != 123456 || b.AllocsPerOp != 789 {
+		t.Errorf("bench[0] numbers = %+v", b)
+	}
+	scale := doc.Benchmarks[1]
+	if scale.MBPerSec != 33.5 || scale.Goroutines != 87 || scale.PeakRSSBytes != 5242880 {
+		t.Errorf("custom metrics = %+v", scale)
+	}
+}
+
+func TestRunEmptyStampOmitted(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(benchText), &out, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); strings.Contains(s, `"commit"`) || strings.Contains(s, `"date"`) {
+		t.Fatalf("empty stamp fields should be omitted:\n%s", s)
+	}
+}
+
+func TestRunNoBenchLines(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok\n"), &out, "x", "y"); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}

@@ -10,6 +10,7 @@
 //	prophet-emu -workers 3 -policy prophet -bandwidth 4e6 -iters 15
 //	prophet-emu -workers 4 -transport ring -attrib          # live collective
 //	prophet-emu -debug-addr 127.0.0.1:6060 -iters 200   # live /metrics JSON
+//	prophet-emu -audit -debug-addr 127.0.0.1:6060       # live /predict audit
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"prophet/internal/nn"
 	"prophet/internal/probe"
 	"prophet/internal/probe/attrib"
+	"prophet/internal/probe/predict"
 	"prophet/internal/shard"
 	"prophet/internal/strategy"
 )
@@ -43,7 +45,8 @@ func main() {
 		mux       = flag.Bool("mux", false, "multiplex all workers onto one shared connection per shard (use for -workers ≥ 100)")
 		transport = flag.String("transport", "ps", "wire transport: "+strings.Join(drive.BackendNames(), "|")+" (ring/tree replace the PS with a peer-to-peer collective)")
 		report    = flag.Bool("attrib", false, "print the stall-attribution report (generation/priority/bandwidth/transmit/ack decomposition)")
-		debugAddr = flag.String("debug-addr", "", "serve live metrics as JSON on this address (e.g. 127.0.0.1:6060/metrics) and dump them after the run")
+		audit     = flag.Bool("audit", false, "score predicted vs actual send windows and print the prediction-audit table (served live on /predict with -debug-addr)")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics as JSON on this address (e.g. 127.0.0.1:6060/metrics, /predict with -audit) and dump them after the run")
 	)
 	flag.Parse()
 
@@ -51,11 +54,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "warning: -policy %s is deprecated; use its canonical name (see -help)\n", *policy)
 	}
 
-	// The registry exists only when requested: a nil *probe.Metrics keeps
-	// the emulation on its unobserved fast path.
+	// The registry and auditor exist only when requested: nil keeps the
+	// emulation on its unobserved fast path.
 	var m *probe.Metrics
 	if *debugAddr != "" {
 		m = probe.NewMetrics()
+	}
+	var aud *predict.Auditor
+	if *audit {
+		aud = predict.NewAuditor(predict.Options{Metrics: m})
+	}
+	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -64,8 +73,13 @@ func main() {
 		defer ln.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", m.Handler())
+		endpoints := "/metrics"
+		if aud != nil {
+			mux.Handle("/predict", aud.Handler())
+			endpoints += " and /predict"
+		}
 		go http.Serve(ln, mux) //nolint:errcheck — dies with the process
-		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("serving %s on http://%s\n", endpoints, ln.Addr())
 	}
 
 	var rec *probe.SpanRecorder
@@ -93,7 +107,8 @@ func main() {
 		Mux:                  *mux,
 		Transport:            *transport,
 		Metrics:              m,
-		Observer:             observerOrNil(rec),
+		Observer:             observers(rec, aud),
+		Predict:              *audit,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -125,6 +140,12 @@ func main() {
 		attrib.Analyze(rec, 3).Render(os.Stdout)
 	}
 
+	if aud != nil {
+		aud.Flush()
+		fmt.Println("  prediction audit (planned vs observed send windows):")
+		aud.Report().Render(os.Stdout)
+	}
+
 	if m != nil {
 		fmt.Println("  metrics:")
 		if err := m.WriteJSON(os.Stdout); err != nil {
@@ -134,12 +155,17 @@ func main() {
 	}
 }
 
-// observerOrNil keeps the unobserved fast path intact: a nil *SpanRecorder
+// observers fans the emulation's event stream out to whichever sinks were
+// requested, keeping the unobserved fast path intact: typed-nil pointers
 // must reach the emulation as a nil interface, not a non-nil interface
 // wrapping a nil pointer.
-func observerOrNil(rec *probe.SpanRecorder) probe.Observer {
-	if rec == nil {
-		return nil
+func observers(rec *probe.SpanRecorder, aud *predict.Auditor) probe.Observer {
+	var list []probe.Observer
+	if rec != nil {
+		list = append(list, rec)
 	}
-	return rec
+	if aud != nil {
+		list = append(list, aud)
+	}
+	return probe.NewMulti(list...)
 }

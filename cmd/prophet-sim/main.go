@@ -5,11 +5,14 @@
 //
 //	prophet-sim -model resnet50 -batch 64 -workers 3 -bandwidth 3000 \
 //	            -policy prophet -iters 12
+//	prophet-sim -debug-addr 127.0.0.1:6060 -audit   # /metrics + /predict JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -18,6 +21,8 @@ import (
 	"prophet/internal/drive"
 	"prophet/internal/model"
 	"prophet/internal/netsim"
+	"prophet/internal/probe"
+	"prophet/internal/probe/predict"
 	"prophet/internal/profiler"
 	"prophet/internal/shard"
 	"prophet/internal/stepwise"
@@ -41,8 +46,39 @@ func main() {
 		placement = flag.String("placement", "size-balanced", "key→shard placement: round-robin|size-balanced")
 		splitNIC  = flag.Bool("split-nic", false, "scale each shard link to 1/shards of the bandwidth (one NIC split across shards) instead of full speed per shard")
 		transport = flag.String("transport", "ps", "transport backend: "+strings.Join(drive.BackendNames(), "|"))
+		audit     = flag.Bool("audit", false, "score predicted vs actual send windows and print the prediction-audit table (served on /predict with -debug-addr)")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics as JSON on this address (e.g. 127.0.0.1:6060/metrics, /predict with -audit) and dump them after the run")
 	)
 	flag.Parse()
+
+	// Same observability surface as prophet-emu: a probe.Metrics registry
+	// behind -debug-addr (nil keeps the unobserved fast path), plus the
+	// prediction auditor behind -audit.
+	var m *probe.Metrics
+	if *debugAddr != "" {
+		m = probe.NewMetrics()
+	}
+	var aud *predict.Auditor
+	if *audit {
+		aud = predict.NewAuditor(predict.Options{Metrics: m})
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", m.Handler())
+		endpoints := "/metrics"
+		if aud != nil {
+			mux.Handle("/predict", aud.Handler())
+			endpoints += " and /predict"
+		}
+		go http.Serve(ln, mux) //nolint:errcheck — dies with the process
+		fmt.Printf("serving %s on http://%s\n", endpoints, ln.Addr())
+	}
 
 	base, err := model.ByName(*modelName)
 	if err != nil {
@@ -110,6 +146,8 @@ func main() {
 			Scheduler:  factory,
 			Iterations: *iters,
 			Seed:       *seed,
+			Observer:   observers(m, aud),
+			Predict:    *audit,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -127,6 +165,7 @@ func main() {
 		fmt.Printf("  collective ops:  %7d (%.1f per iteration)\n",
 			res.Reductions, float64(res.Reductions)/float64(*iters))
 		fmt.Printf("  simulated time:  %7.2f s for %d iterations\n", res.Duration, *iters)
+		finishObservability(m, aud)
 		return
 	}
 
@@ -146,6 +185,8 @@ func main() {
 		Seed:           *seed,
 		PSShards:       *shards,
 		ShardPlacement: shard.Placement(*placement),
+		Observer:       observers(m, aud),
+		Predict:        *audit,
 	}
 	if *splitNIC && *shards > 1 {
 		cfg.ShardUplink = func(w, _ int) netsim.LinkConfig {
@@ -180,4 +221,35 @@ func main() {
 	fmt.Printf("  GPU utilization: %7.1f%%\n", 100*res.GPUUtil(0, warmup))
 	fmt.Printf("  uplink payload:  %7.1f MB/s average\n", res.AvgUplinkThroughput(0, warmup)/1e6)
 	fmt.Printf("  simulated time:  %7.2f s for %d iterations\n", res.Duration, *iters)
+	finishObservability(m, aud)
+}
+
+// observers fans the simulation's event stream out to the sinks that were
+// requested; nil in, nil out so the unobserved fast path survives.
+func observers(m *probe.Metrics, aud *predict.Auditor) probe.Observer {
+	var list []probe.Observer
+	if o := m.Observer(); o != nil {
+		list = append(list, o)
+	}
+	if aud != nil {
+		list = append(list, aud)
+	}
+	return probe.NewMulti(list...)
+}
+
+// finishObservability prints the end-of-run audit table and metrics dump,
+// mirroring prophet-emu's epilogue.
+func finishObservability(m *probe.Metrics, aud *predict.Auditor) {
+	if aud != nil {
+		aud.Flush()
+		fmt.Println("  prediction audit (planned vs observed send windows):")
+		aud.Report().Render(os.Stdout)
+	}
+	if m != nil {
+		fmt.Println("  metrics:")
+		if err := m.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

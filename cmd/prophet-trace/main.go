@@ -9,6 +9,7 @@
 //	prophet-trace -model resnet50 -policy prophet -out trace.json
 //	prophet-trace -policy bytescheduler -csv timeline.csv -transfers log.csv
 //	prophet-trace -path emu -policy prophet -out live.json -attrib report.txt
+//	prophet-trace -policy prophet -audit audit.txt   # predicted vs actual
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"prophet/internal/nn"
 	"prophet/internal/probe"
 	"prophet/internal/probe/attrib"
+	"prophet/internal/probe/predict"
 	"prophet/internal/profiler"
 	"prophet/internal/stepwise"
 	"prophet/internal/strategy"
@@ -52,10 +54,11 @@ func main() {
 		outCSV    = flag.String("csv", "", "timeline CSV output path (GPU util + throughput)")
 		outXfer   = flag.String("transfers", "", "per-gradient transfer CSV output path")
 		outAttrib = flag.String("attrib", "", "stall-attribution report output path")
+		outAudit  = flag.String("audit", "", "prediction-audit report output path (predicted vs actual windows, drift scores)")
 	)
 	flag.Parse()
-	if *outJSON == "" && *outCSV == "" && *outXfer == "" && *outAttrib == "" {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -out, -csv, -transfers, or -attrib")
+	if *outJSON == "" && *outCSV == "" && *outXfer == "" && *outAttrib == "" && *outAudit == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -out, -csv, -transfers, -attrib, or -audit")
 		os.Exit(1)
 	}
 
@@ -79,13 +82,13 @@ func main() {
 			model: *modelName, batch: *batch, workers: *workers,
 			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
 			transport: *transport,
-		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
+		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, audit: *outAudit, topK: *topK})
 	case "emu":
 		runEmu(emuConfig{
 			batch: *batch, workers: *workers, hidden: *hidden,
 			bandwidth: *bandwidth, policy: canonical, iters: *iters, seed: *seed,
 			mux: *mux, transport: *transport,
-		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, topK: *topK})
+		}, outputs{json: *outJSON, csv: *outCSV, xfer: *outXfer, attrib: *outAttrib, audit: *outAudit, topK: *topK})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -path %q: want sim or emu\n", *path)
 		os.Exit(1)
@@ -113,8 +116,8 @@ type emuConfig struct {
 }
 
 type outputs struct {
-	json, csv, xfer, attrib string
-	topK                    int
+	json, csv, xfer, attrib, audit string
+	topK                           int
 }
 
 func fatal(err error) {
@@ -181,6 +184,7 @@ func runSim(cfg simConfig, out outputs) {
 		RecordLinks:  true,
 		LogTransfers: true,
 		Observer:     rec,
+		Predict:      out.audit != "",
 	})
 	if err != nil {
 		fatal(err)
@@ -207,6 +211,7 @@ func runSim(cfg simConfig, out outputs) {
 		})
 	}
 	writeAttrib(rec, out)
+	writeAudit(rec, out)
 }
 
 // runSimCollective drives the collective path (ring/tree over the drive
@@ -229,6 +234,7 @@ func runSimCollective(cfg simConfig, wire *model.Model, agg stepwise.Buckets, op
 		Iterations: cfg.iters,
 		Seed:       cfg.seed,
 		Observer:   rec,
+		Predict:    out.audit != "",
 	})
 	if err != nil {
 		fatal(err)
@@ -256,6 +262,7 @@ func runSimCollective(cfg simConfig, wire *model.Model, agg stepwise.Buckets, op
 		})
 	}
 	writeAttrib(rec, out)
+	writeAudit(rec, out)
 }
 
 // runEmu drives the live emulation. Every export comes from the probe
@@ -281,6 +288,7 @@ func runEmu(cfg emuConfig, out outputs) {
 		Mux:                  cfg.mux,
 		Transport:            cfg.transport,
 		Observer:             rec,
+		Predict:              out.audit != "",
 	})
 	if err != nil {
 		fatal(err)
@@ -313,6 +321,7 @@ func runEmu(cfg emuConfig, out outputs) {
 		})
 	}
 	writeAttrib(rec, out)
+	writeAudit(rec, out)
 }
 
 func writeAttrib(rec *probe.SpanRecorder, out outputs) {
@@ -321,6 +330,24 @@ func writeAttrib(rec *probe.SpanRecorder, out outputs) {
 	}
 	writeFile(out.attrib, func(f *os.File) error {
 		attrib.Analyze(rec, out.topK).Render(f)
+		return nil
+	})
+}
+
+// writeAudit replays the recorded stream through the prediction auditor and
+// renders the predicted-vs-actual table. On the emu path the planned windows
+// come from the engines' dispatch-time projections; on the sim paths from
+// the drive layer's cost model.
+func writeAudit(rec *probe.SpanRecorder, out outputs) {
+	if out.audit == "" {
+		return
+	}
+	writeFile(out.audit, func(f *os.File) error {
+		rep := predict.Audit(rec, predict.Options{})
+		if rep.Planned == 0 {
+			return fmt.Errorf("no planned windows recorded: prediction not armed on this path")
+		}
+		rep.Render(f)
 		return nil
 	})
 }

@@ -79,6 +79,12 @@ type Config struct {
 	Observer probe.Observer
 	// RecordMessages enables the drive decision log (Result.Messages).
 	RecordMessages bool
+	// Predict attaches a drive.CollectiveCost model to the driver,
+	// stamping decision Records with planned wire windows and announcing
+	// them through probe.PlanObserver for the prediction audit. The model
+	// plays the backend's chunk schedule against the link's ground-truth
+	// trace read at decision time; prediction is passive.
+	Predict bool
 }
 
 func (c *Config) setDefaults() error {
@@ -269,6 +275,10 @@ func Run(cfg Config) (*Result, error) {
 	drv := drive.New(sched, tx, 1, n, nil)
 	drv.SetRecording(cfg.RecordMessages)
 	drv.SetObserver(0, obs)
+	if cfg.Predict {
+		drv.SetCostModel(drive.CollectiveCost(be, cfg.Workers, cfg.Link.SetupTime, cfg.Link.RampBytes,
+			func() float64 { return cfg.Link.Trace.At(eng.Now()) }))
+	}
 
 	// releaseAt[i] lists tensors released when backward segment i ends.
 	releaseAt := make([][]int, n)

@@ -111,6 +111,15 @@ type Config struct {
 	// with an Observer attached produces bit-identical schedules to one
 	// without.
 	Observer probe.Observer
+	// Predict attaches a schedule.LinkCost model to every worker's driver,
+	// stamping each decision Record with its planned wire window and
+	// announcing it through probe.PlanObserver — the input to the
+	// prediction audit (internal/probe/predict). The model reads the
+	// link's ground-truth trace at decision time, so on a constant trace
+	// predictions are exact and on a varying trace the error IS the drift
+	// the audit measures. Prediction is passive: schedules are
+	// bit-identical with it on or off.
+	Predict bool
 }
 
 // WorkerFault is one crash-stop failure: Worker halts at the start of

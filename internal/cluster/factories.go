@@ -141,10 +141,7 @@ func ByNameTransport(name, transport string, workers int, m *model.Model, opt Op
 // 2(W−1) per-step overheads would murder small tensors.
 func collectiveMonitor(eng *sim.Engine, uplink *netsim.Link, be drive.Backend, workers int) (func() float64, func(bw float64) float64) {
 	cfg := uplink.Config()
-	total := 0.0
-	for _, c := range be.ChunkBytes(1, workers, nil) {
-		total += c
-	}
+	total := drive.WireVolume(be, workers)
 	steps := float64(be.Steps(workers))
 	if total <= 0 {
 		return linkMonitor(eng, uplink)

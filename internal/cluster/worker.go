@@ -202,6 +202,21 @@ func newWorker(id int, eng *sim.Engine, cfg *Config, ps *paramServer, smap *shar
 	if cfg.RecordMessages && id == 0 {
 		w.drv.SetRecording(true)
 	}
+	if cfg.Predict {
+		// Perfect-monitor predictor: the cost model is the netsim wire
+		// arithmetic with bandwidth read from each lane's ground-truth
+		// trace at decision time. Shard 0's Setup/Ramp are representative
+		// (all shard links of a worker share one configuration), but
+		// bandwidth is read per lane so asymmetric traces still predict.
+		lc := w.up[0].Config()
+		w.drv.SetCostModel(schedule.LinkCost{
+			Setup: lc.SetupTime,
+			Ramp:  lc.RampBytes,
+			Bandwidth: func(lane int) float64 {
+				return w.up[lane].Config().Trace.At(eng.Now())
+			},
+		})
+	}
 	if cfg.Observer != nil {
 		w.obs = cfg.Observer
 		w.drv.SetObserver(id, cfg.Observer)

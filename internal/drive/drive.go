@@ -81,6 +81,11 @@ type Record struct {
 	Prio  int
 	// Completes lists the gradients the message finishes (Last pieces).
 	Completes []int
+	// Planned is the message's predicted wire window across its sub-sends
+	// ([earliest predicted start, latest predicted end]). It stays zero
+	// unless a CostModel is attached (SetCostModel), so recorded decision
+	// sequences remain comparable across paths that don't predict.
+	Planned schedule.Window
 }
 
 // group tracks one scheduler message across its per-lane sub-sends.
@@ -135,6 +140,17 @@ type Driver struct {
 	// nothing before it — see the probe package's cost contract.
 	obs    probe.Observer
 	worker int
+
+	// cost, when non-nil, predicts each sub-send's wire window at enqueue
+	// time (the prediction-audit input). planFree[s] is lane s's predicted
+	// free time: per-lane queues are FIFO and a freed lane dispatches its
+	// next queued sub immediately, so chaining predictions off the previous
+	// predicted end mirrors the dispatch timeline exactly when the model is
+	// exact. planObs is obs's optional PlanObserver face, resolved once in
+	// SetObserver.
+	cost     schedule.CostModel
+	planFree []float64
+	planObs  probe.PlanObserver
 }
 
 // New builds a Driver for one worker: sched decides the order, tx moves the
@@ -164,6 +180,20 @@ func (d *Driver) SetRecording(on bool) { d.recording = on }
 func (d *Driver) SetObserver(worker int, obs probe.Observer) {
 	d.worker = worker
 	d.obs = obs
+	d.planObs, _ = obs.(probe.PlanObserver)
+}
+
+// SetCostModel attaches the wire-time predictor: every subsequently
+// enqueued sub-message gets a planned window stamped on its decision Record
+// and emitted as a SendPlanned probe event (when the observer implements
+// probe.PlanObserver). Passing nil detaches it. Prediction is passive — it
+// never changes what the driver dispatches — and costs nothing when
+// detached (one nil check per enqueue).
+func (d *Driver) SetCostModel(cost schedule.CostModel) {
+	d.cost = cost
+	if cost != nil && d.planFree == nil {
+		d.planFree = make([]float64, len(d.queues))
+	}
 }
 
 // Records returns the decision log accumulated so far (fetch order).
@@ -177,6 +207,12 @@ func (d *Driver) BeginIteration(iter int) {
 	d.iter = iter
 	for i := range d.offsets {
 		d.offsets[i] = 0
+	}
+	// The barrier guarantees every previous send completed, so lane
+	// predictions re-anchor on real time each iteration instead of
+	// compounding drift across the run.
+	for i := range d.planFree {
+		d.planFree[i] = 0
 	}
 	d.sched.BeginIteration(iter)
 }
@@ -292,6 +328,7 @@ func (d *Driver) enqueue(msg schedule.Message, now float64) {
 		subs = schedule.SplitByShard(msg, len(d.queues), d.shardOf)
 	}
 	prio := msg.Priority()
+	var planned schedule.Window
 	for s, sub := range subs {
 		if len(sub.Pieces) == 0 {
 			continue
@@ -307,6 +344,25 @@ func (d *Driver) enqueue(msg schedule.Message, now float64) {
 			d.offsets[pc.Grad] += pc.Bytes
 		}
 		g.total++
+		if d.cost != nil {
+			// Predicted dispatch: now if the lane is (predicted) free,
+			// else chained behind the lane's predicted in-flight work.
+			start := now
+			if f := d.planFree[s]; f > start {
+				start = f
+			}
+			end := start + d.cost.MessageTime(s, sub.Bytes, sub.Stall)
+			d.planFree[s] = end
+			if planned.IsZero() || start < planned.Start {
+				planned.Start = start
+			}
+			if end > planned.End {
+				planned.End = end
+			}
+			if d.planObs != nil {
+				d.planObs.SendPlanned(d.worker, s, g.seq, g.iter, prio, sub.Bytes, start, end)
+			}
+		}
 		d.queues[s] = append(d.queues[s], Send{
 			Lane: s, Seq: g.seq, Iter: g.iter, Prio: prio,
 			Msg: sub, Ranges: ranges, group: g,
@@ -314,6 +370,9 @@ func (d *Driver) enqueue(msg schedule.Message, now float64) {
 		if d.obs != nil {
 			d.obs.ShardEnqueued(d.worker, s, g.seq, prio, sub.Bytes, len(d.queues[s])-d.heads[s], now)
 		}
+	}
+	if d.recording && d.cost != nil {
+		d.records[len(d.records)-1].Planned = planned
 	}
 }
 

@@ -175,6 +175,13 @@ type Config struct {
 	// timeouts, fault injections, per-shard queue depth. The registry is
 	// also fed the probe event stream (see Metrics.Observer).
 	Metrics *probe.Metrics
+	// Predict arms the prediction audit on the live path: each engine
+	// announces planned wire windows (dispatch + bytes at the configured
+	// BandwidthBytesPerSec, divided by the transport's wire volume)
+	// through probe.PlanObserver just before the matching SendStart.
+	// Requires an Observer implementing probe.PlanObserver and a positive
+	// BandwidthBytesPerSec; otherwise it is inert.
+	Predict bool
 }
 
 // faultTolerant reports whether any fault-handling configuration is set.
@@ -593,7 +600,14 @@ func runWorker(w int, cfg Config, pullTimeout time.Duration, eng liveEngine, tab
 	// at the real backward pass, the real wire sends (engine Dispatch),
 	// and the real aggregated-gradient arrivals — on the run's wall clock.
 	obs := cfg.Observer
-	eng.Bind(pushParams{worker: w, sizes: sizes, labels: tables.labels, obs: obs, clock: clock})
+	pp := pushParams{worker: w, sizes: sizes, labels: tables.labels, obs: obs, clock: clock}
+	if cfg.Predict && obs != nil && cfg.BandwidthBytesPerSec > 0 {
+		if po, ok := obs.(probe.PlanObserver); ok {
+			pp.planObs = po
+			pp.predictBw = cfg.BandwidthBytesPerSec / transportVolume(cfg.Transport, cfg.Workers)
+		}
+	}
+	eng.Bind(pp)
 
 	// Lockstep transports publish one worker's plan for all: followers
 	// skip the scheduler stack entirely and execute what Plan hands them.
@@ -867,10 +881,7 @@ func transportVolume(transport string, workers int) float64 {
 	if err != nil {
 		return 1 // validate resolved the name already; unreachable
 	}
-	total := 0.0
-	for _, c := range be.ChunkBytes(1, workers, nil) {
-		total += c
-	}
+	total := drive.WireVolume(be, workers)
 	if total <= 0 {
 		return 1
 	}

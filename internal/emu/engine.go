@@ -150,7 +150,11 @@ func (e *psEngine) Dispatch(iter int, grad func(int) []float64, sends []wireSend
 						total += pp.sizes[idx]
 					}
 					first := job.tensors[0]
-					pp.obs.SendStart(pp.worker, s, job.seq, iter, first, pp.labels[first], total, ranges, pp.clock())
+					now := pp.clock()
+					if pp.planObs != nil && pp.predictBw > 0 {
+						pp.planObs.SendPlanned(pp.worker, s, job.seq, iter, first, total, now, now+total/pp.predictBw)
+					}
+					pp.obs.SendStart(pp.worker, s, job.seq, iter, first, pp.labels[first], total, ranges, now)
 				}
 				if err := client.Shard(s).PushPullBatch(iter, job.tensors, grad, deliver); err != nil {
 					errs[s] = fmt.Errorf("push batch %v (shard %d): %w", job.tensors, s, err)
@@ -210,7 +214,11 @@ func (e *psEngine) dispatchInline(iter int, grad func(int) []float64, sends []wi
 				total += pp.sizes[idx]
 			}
 			first := snd.tensors[0]
-			pp.obs.SendStart(pp.worker, s, seq, iter, first, pp.labels[first], total, ranges, pp.clock())
+			now := pp.clock()
+			if pp.planObs != nil && pp.predictBw > 0 {
+				pp.planObs.SendPlanned(pp.worker, s, seq, iter, first, total, now, now+total/pp.predictBw)
+			}
+			pp.obs.SendStart(pp.worker, s, seq, iter, first, pp.labels[first], total, ranges, now)
 		}
 		if err := e.client.Shard(s).PushPullBatch(iter, snd.tensors, grad, deliver); err != nil {
 			return fmt.Errorf("push batch %v (shard %d): %w", snd.tensors, s, err)
@@ -279,10 +287,19 @@ type pushJob struct {
 // pushParams carries the probe context of one worker's engine: obs is nil
 // in unobserved runs, and labels is only populated when it is not. sizes
 // and labels point into the run's shared read-only workerTables.
+//
+// planObs and predictBw arm the prediction audit: when both are set, the
+// engine announces each send's planned wire window (dispatch instant to
+// dispatch + bytes/predictBw) through SendPlanned just before SendStart.
+// The planned start is read from the same clock sample as the observed
+// start, so the residual isolates transmit divergence — framing overhead,
+// shard contention, injected faults — from scheduling slack.
 type pushParams struct {
-	worker int
-	sizes  []float64
-	labels []string
-	obs    probe.Observer
-	clock  func() float64
+	worker    int
+	sizes     []float64
+	labels    []string
+	obs       probe.Observer
+	planObs   probe.PlanObserver
+	predictBw float64
+	clock     func() float64
 }

@@ -168,7 +168,11 @@ func (e *collectiveEngine) Dispatch(iter int, grad func(int) []float64, sends []
 				total += pp.sizes[idx]
 			}
 			first := snd.tensors[0]
-			pp.obs.SendStart(pp.worker, 0, seq, iter, first, pp.labels[first], total, e.ranges, pp.clock())
+			now := pp.clock()
+			if pp.planObs != nil && pp.predictBw > 0 {
+				pp.planObs.SendPlanned(pp.worker, 0, seq, iter, first, total, now, now+total/pp.predictBw)
+			}
+			pp.obs.SendStart(pp.worker, 0, seq, iter, first, pp.labels[first], total, e.ranges, now)
 		}
 		e.curSeq = seq
 		if err := e.peer.AllReduce(iter, buf, e.stepFn); err != nil {

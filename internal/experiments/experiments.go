@@ -128,6 +128,7 @@ func All() []Spec {
 		{"ext-transport", "extension", "Pluggable transports under the drive layer: PS vs ring vs tree, with attribution", func(c Config) (Result, error) { return ExtTransport(c) }},
 		{"ext-scale", "extension", "Shared-connection mux: decision/trajectory equivalence plus a worker-count sweep", func(c Config) (Result, error) { return ExtScale(c) }},
 		{"ext-live-transport", "extension", "Live wire engines over real sockets: PS (dedicated/mux) vs ring/tree collective, with attribution", func(c Config) (Result, error) { return ExtLiveTransport(c) }},
+		{"ext-predict", "extension", "Prediction audit: planned-vs-observed residuals, drift under bandwidth shifts and faults", func(c Config) (Result, error) { return ExtPredict(c) }},
 	}
 }
 

@@ -1,0 +1,145 @@
+package predict_test
+
+// Prediction invariant: on the deterministic simulator with a constant
+// bandwidth trace, the cost model IS the wire model, so predicted and
+// observed windows must agree within 1e-6 relative tolerance for every
+// registry strategy on every transport — PS (single- and multi-shard),
+// ring, and tree. Any disagreement means either the cost model or the
+// planned-window plumbing has drifted from the wire arithmetic.
+
+import (
+	"testing"
+
+	"prophet/internal/allreduce"
+	"prophet/internal/cluster"
+	"prophet/internal/core"
+	"prophet/internal/model"
+	"prophet/internal/netsim"
+	"prophet/internal/probe"
+	"prophet/internal/probe/predict"
+	"prophet/internal/stepwise"
+	"prophet/internal/strategy"
+)
+
+const invariantTol = 1e-6
+
+func testProfile(t *testing.T, m *model.Model) *core.Profile {
+	t.Helper()
+	n := len(m.Grads)
+	sizes := make([]float64, n)
+	gen := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = m.Grads[i].Bytes()
+		gen[i] = float64(n-i) * 1e-3 // descending backward emission
+	}
+	prof, err := core.NewProfile(gen, sizes, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func auditPS(t *testing.T, name string, shards int) *predict.Report {
+	t.Helper()
+	m := model.WithWireFactor(model.ResNet18(), 2)
+	factory, err := cluster.ByName(name, m, cluster.Options{Seed: 3, Profile: testProfile(t, m)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := probe.NewSpanRecorder()
+	_, err = cluster.Run(cluster.Config{
+		Model:    m,
+		Batch:    32,
+		Workers:  3,
+		PSShards: shards,
+		Uplink: func(int) netsim.LinkConfig {
+			return netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(3)))
+		},
+		Scheduler:  factory,
+		Iterations: 3,
+		Jitter:     -1,
+		Seed:       3,
+		Observer:   rec,
+		Predict:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return predict.Audit(rec, predict.Options{})
+}
+
+func auditCollective(t *testing.T, name, backend string) *predict.Report {
+	t.Helper()
+	m := model.WithWireFactor(model.ResNet18(), 2)
+	aggBytes := m.TotalBytes() / 13
+	if aggBytes < 4e6 {
+		aggBytes = 4e6
+	}
+	factory, err := cluster.ByNameTransport(name, backend, 3, m, cluster.Options{Seed: 3, Profile: testProfile(t, m)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := probe.NewSpanRecorder()
+	_, err = allreduce.Run(allreduce.Config{
+		Model:      m,
+		Batch:      32,
+		Workers:    3,
+		Agg:        stepwise.Aggregate(m, aggBytes, 0),
+		Link:       netsim.DefaultLinkConfig(netsim.Const(netsim.Gbps(3))),
+		Backend:    backend,
+		Scheduler:  factory,
+		Iterations: 3,
+		Jitter:     -1,
+		Seed:       3,
+		Observer:   rec,
+		Predict:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return predict.Audit(rec, predict.Options{})
+}
+
+func assertTight(t *testing.T, label string, rep *predict.Report) {
+	t.Helper()
+	if rep.Joined == 0 {
+		t.Fatalf("%s: no planned windows joined against observed spans", label)
+	}
+	if rep.Joined != rep.Planned {
+		t.Errorf("%s: %d planned windows but only %d joined — join key mismatch",
+			label, rep.Planned, rep.Joined)
+	}
+	if rel := rep.MaxRelErr(); rel > invariantTol {
+		t.Errorf("%s: max relative window error %g exceeds %g", label, rel, invariantTol)
+	}
+	if len(rep.Alarms) != 0 {
+		t.Errorf("%s: %d drift alarms on an exact-prediction run", label, len(rep.Alarms))
+	}
+}
+
+func TestPredictionInvariantEveryStrategyEveryTransport(t *testing.T) {
+	for _, name := range strategy.Names() {
+		name := name
+		t.Run("ps/"+name, func(t *testing.T) {
+			t.Parallel()
+			assertTight(t, "ps/"+name, auditPS(t, name, 1))
+		})
+		t.Run("ring/"+name, func(t *testing.T) {
+			t.Parallel()
+			assertTight(t, "ring/"+name, auditCollective(t, name, "ring"))
+		})
+		t.Run("tree/"+name, func(t *testing.T) {
+			t.Parallel()
+			assertTight(t, "tree/"+name, auditCollective(t, name, "tree"))
+		})
+	}
+}
+
+// TestPredictionInvariantMultiShard pins the per-lane planFree chaining:
+// with 2 PS shards, predicted starts chain independently per lane and must
+// still match the wire exactly.
+func TestPredictionInvariantMultiShard(t *testing.T) {
+	for _, name := range []string{"fifo", "prophet"} {
+		assertTight(t, "ps2/"+name, auditPS(t, name, 2))
+	}
+}

@@ -102,6 +102,31 @@ type StepObserver interface {
 	SendStep(worker, lane, seq, step, steps int, bytes float64, start, end float64)
 }
 
+// PlanObserver is an optional extension of Observer for the prediction
+// audit: when a drive.Driver has a schedule.CostModel attached (or a live
+// engine predicts from its configured rate), it announces each sub-message's
+// *planned* wire window at decision time — before the send happens — so the
+// audit (internal/probe/predict) can join plan against observation. The join
+// key is (worker, lane, seq, iter): live engines reuse fetch sequence
+// numbers across iterations, so iter is part of the key. Emitters
+// type-assert for it; plain Observers are unaffected.
+type PlanObserver interface {
+	// SendPlanned reports that the sub-message with fetch sequence seq on
+	// (worker, lane) in iteration iter is predicted to occupy its lane over
+	// [start, end).
+	SendPlanned(worker, lane, seq, iter, prio int, bytes float64, start, end float64)
+}
+
+// AlarmObserver is an optional extension of Observer for drift alarms: the
+// prediction audit raises DriftAlarm when a worker's EWMA drift score
+// crosses its threshold — the signal a re-tuning hook consumes. Emitters
+// type-assert for it; plain Observers are unaffected.
+type AlarmObserver interface {
+	// DriftAlarm reports worker's drift score crossing threshold at the end
+	// of iteration iter.
+	DriftAlarm(worker, iter int, score, threshold, now float64)
+}
+
 // Multi fans events out to several observers. A nil entry is skipped, so
 // callers can compose optional sinks without branching.
 type Multi []Observer
@@ -194,6 +219,24 @@ func (m Multi) SendStep(worker, lane, seq, step, steps int, bytes float64, start
 	for _, o := range m {
 		if so, ok := o.(StepObserver); ok {
 			so.SendStep(worker, lane, seq, step, steps, bytes, start, end)
+		}
+	}
+}
+
+// SendPlanned implements PlanObserver, forwarding to the entries that do.
+func (m Multi) SendPlanned(worker, lane, seq, iter, prio int, bytes float64, start, end float64) {
+	for _, o := range m {
+		if po, ok := o.(PlanObserver); ok {
+			po.SendPlanned(worker, lane, seq, iter, prio, bytes, start, end)
+		}
+	}
+}
+
+// DriftAlarm implements AlarmObserver, forwarding to the entries that do.
+func (m Multi) DriftAlarm(worker, iter int, score, threshold, now float64) {
+	for _, o := range m {
+		if ao, ok := o.(AlarmObserver); ok {
+			ao.DriftAlarm(worker, iter, score, threshold, now)
 		}
 	}
 }

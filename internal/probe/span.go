@@ -39,6 +39,22 @@ type StepSpan struct {
 	Start, End                     float64
 }
 
+// PlannedSpan is one predicted wire window announced through PlanObserver:
+// where the cost model expected the sub-message (Worker, Lane, Seq, Iter)
+// to sit on its lane. The audit joins these against the observed SendSpans.
+type PlannedSpan struct {
+	Worker, Lane, Seq, Iter, Prio int
+	Bytes                         float64
+	Start, End                    float64
+}
+
+// DriftAlarmEvent records one drift alarm raised through AlarmObserver.
+type DriftAlarmEvent struct {
+	Worker, Iter     int
+	Score, Threshold float64
+	Time             float64
+}
+
 // FaultEvent records one fault-injector firing.
 type FaultEvent struct {
 	Worker int
@@ -82,6 +98,9 @@ type SpanRecorder struct {
 	steps     []StepSpan
 	transfers metrics.TransferLog
 	grads     map[gradKey]*GradTimes
+
+	planned []PlannedSpan
+	alarms  []DriftAlarmEvent
 
 	faults []FaultEvent
 	gated  map[int]int64
@@ -276,6 +295,25 @@ func (r *SpanRecorder) SendStep(worker, lane, seq, step, steps int, bytes float6
 	r.mu.Unlock()
 }
 
+// SendPlanned implements PlanObserver.
+func (r *SpanRecorder) SendPlanned(worker, lane, seq, iter, prio int, bytes float64, start, end float64) {
+	r.mu.Lock()
+	r.planned = append(r.planned, PlannedSpan{
+		Worker: worker, Lane: lane, Seq: seq, Iter: iter, Prio: prio,
+		Bytes: bytes, Start: start, End: end,
+	})
+	r.mu.Unlock()
+}
+
+// DriftAlarm implements AlarmObserver.
+func (r *SpanRecorder) DriftAlarm(worker, iter int, score, threshold, now float64) {
+	r.mu.Lock()
+	r.alarms = append(r.alarms, DriftAlarmEvent{
+		Worker: worker, Iter: iter, Score: score, Threshold: threshold, Time: now,
+	})
+	r.mu.Unlock()
+}
+
 // FaultInjected implements Observer.
 func (r *SpanRecorder) FaultInjected(worker int, kind string, now float64) {
 	r.mu.Lock()
@@ -400,6 +438,38 @@ func (r *SpanRecorder) Transfers() *metrics.TransferLog {
 	defer r.mu.Unlock()
 	out := &metrics.TransferLog{Entries: make([]metrics.TransferEntry, len(r.transfers.Entries))}
 	copy(out.Entries, r.transfers.Entries)
+	return out
+}
+
+// Planned returns a copy of the recorded planned spans, sorted by (Worker,
+// Lane, Start, Seq) like Spans.
+func (r *SpanRecorder) Planned() []PlannedSpan {
+	r.mu.Lock()
+	out := make([]PlannedSpan, len(r.planned))
+	copy(out, r.planned)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// DriftAlarms returns the recorded drift alarms in emission order.
+func (r *SpanRecorder) DriftAlarms() []DriftAlarmEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DriftAlarmEvent, len(r.alarms))
+	copy(out, r.alarms)
 	return out
 }
 
